@@ -1,0 +1,55 @@
+"""Performance benchmarks for the core pipeline components.
+
+These are conventional pytest-benchmark measurements (multiple rounds)
+rather than table regenerations: linter throughput, DER parsing, and
+Punycode conversion.
+"""
+
+import datetime as dt
+
+from repro.lint import run_lints
+from repro.uni import punycode
+from repro.x509 import (
+    Certificate,
+    CertificateBuilder,
+    GeneralName,
+    generate_keypair,
+    subject_alt_name,
+)
+
+KEY = generate_keypair(seed=2024)
+
+
+def _sample_cert() -> Certificate:
+    return (
+        CertificateBuilder()
+        .subject_cn("xn--mnchen-3ya.example.de")
+        .not_before(dt.datetime(2024, 1, 1))
+        .validity_days(90)
+        .add_extension(subject_alt_name(GeneralName.dns("xn--mnchen-3ya.example.de")))
+        .sign(KEY)
+    )
+
+
+def test_linter_throughput(benchmark):
+    cert = _sample_cert()
+    report = benchmark(run_lints, cert)
+    assert not report.noncompliant
+
+
+def test_der_parse_throughput(benchmark):
+    der = _sample_cert().to_der()
+    cert = benchmark(Certificate.from_der, der)
+    assert cert.subject_common_names
+
+
+def test_punycode_roundtrip_throughput(benchmark):
+    def roundtrip():
+        return punycode.decode(punycode.encode("bücher-münchen-straße"))
+
+    assert benchmark(roundtrip) == "bücher-münchen-straße"
+
+
+def test_build_and_sign_throughput(benchmark):
+    cert = benchmark(_sample_cert)
+    assert cert.tbs_der

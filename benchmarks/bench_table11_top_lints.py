@@ -1,0 +1,30 @@
+"""Table 11 — top lints ranked by noncompliant Unicerts flagged."""
+
+from repro.analysis import top_lints
+from repro.lint import REGISTRY
+
+
+def test_table11_top_lints(benchmark, corpus, reports, write_output):
+    ranked = benchmark.pedantic(top_lints, args=(reports, 25), rounds=1, iterations=1)
+    lines = [
+        "Table 11: Top lints identifying noncompliant cases",
+        f"{'Lint':<58}{'Type':<20}{'New':>4}{'#NC':>7}",
+    ]
+    for name, count in ranked:
+        meta = REGISTRY.get(name).metadata
+        lines.append(
+            f"{name:<58}{meta.nc_type.value:<20}{'yes' if meta.new else 'no':>4}{count:>7}"
+        )
+    write_output("table11_top_lints", lines)
+
+    names = [name for name, _count in ranked]
+    # The paper's two dominant lints top the ranking in either order.
+    assert set(names[:2]) == {
+        "w_rfc_ext_cp_explicit_text_not_utf8",
+        "w_cab_subject_common_name_not_in_san",
+    }
+    # The flagship new lint is high in the ranking.
+    assert "e_rfc_dns_idn_a2u_unpermitted_unichar" in names[:8]
+    # A healthy share of the firing lints are the paper's new ones.
+    new_count = sum(1 for name in names if REGISTRY.get(name).metadata.new)
+    assert new_count >= 5

@@ -1,0 +1,95 @@
+"""Table 1 — noncompliance taxonomy over the calibrated corpus.
+
+Regenerates the paper's headline issuance-compliance results: per-type
+lint counts, NC Unicert counts, error/warning splits, trusted/recent/
+alive shares, the 0.72% overall NC rate, the 65.3% trusted share, and
+the footnote-4 effective-date gap.
+"""
+
+from repro.analysis import build_table1, encoding_error_analysis, issuer_involvement
+from repro.lint import NoncomplianceType
+
+#: Paper reference values (shares of all NC Unicerts) for the shape check.
+PAPER_TYPE_SHARES = {
+    NoncomplianceType.INVALID_CHARACTER: 0.173,
+    NoncomplianceType.INVALID_ENCODING: 0.605,
+    NoncomplianceType.INVALID_STRUCTURE: 0.376,
+    NoncomplianceType.ILLEGAL_FORMAT: 0.013,
+}
+
+
+def test_table1_taxonomy(benchmark, corpus, reports, write_output):
+    table = benchmark.pedantic(build_table1, args=(corpus, reports), rounds=1, iterations=1)
+
+    lines = [
+        "Table 1: Overview of noncompliance types "
+        f"(scale={corpus.scale:g}, n={table.total_certs})",
+        f"{'Type':<22}{'#Lints':>8}{'(New)':>7}{'#NC':>7}{'(New)':>7}"
+        f"{'Error':>7}{'Warn':>7}{'Trusted':>9}{'Recent':>8}{'Alive':>7}",
+    ]
+    for nc_type in NoncomplianceType:
+        row = table.rows[nc_type]
+        lines.append(
+            f"{nc_type.value:<22}{row.lints_total:>8}{row.lints_new:>7}"
+            f"{row.nc_certs:>7}{row.nc_certs_new_lints:>7}"
+            f"{row.error_level:>7}{row.warning_level:>7}"
+            f"{row.trusted_share:>8.1%}{row.recent:>8}{row.alive:>7}"
+        )
+    lines += [
+        f"{'All':<22}{95:>8}{50:>7}{table.nc_certs:>7}"
+        f"{'':>7}{table.nc_error_level:>7}{table.nc_warning_level:>7}"
+        f"{table.trusted_share:>8.1%}{table.nc_recent:>8}{table.nc_alive:>7}",
+        "",
+        f"NC rate: {table.nc_rate:.2%} (paper: 0.72%)",
+        f"Trusted share of NC: {table.trusted_share:.1%} (paper: 65.3%)",
+        f"Limited-trust share: {table.limited_share:.1%} (paper: 21.1%)",
+        f"NC ignoring effective dates: {table.nc_certs_ignoring_dates} "
+        f"vs {table.nc_certs} (paper: 1.8M vs 249.3K, ~7.2x)",
+    ]
+    write_output("table1_taxonomy", lines)
+
+    # Shape assertions: who dominates and by roughly what factor.
+    enc = table.rows[NoncomplianceType.INVALID_ENCODING].nc_certs
+    struct = table.rows[NoncomplianceType.INVALID_STRUCTURE].nc_certs
+    chars = table.rows[NoncomplianceType.INVALID_CHARACTER].nc_certs
+    norm = table.rows[NoncomplianceType.BAD_NORMALIZATION].nc_certs
+    assert enc > struct
+    assert enc == max(row.nc_certs for row in table.rows.values())
+    assert norm == 3
+    if table.total_certs >= 10_000:
+        # The full ordering needs enough samples per class.
+        assert struct > chars > norm
+    assert 0.003 < table.nc_rate < 0.02
+    assert table.trusted_share > 0.5
+    assert table.nc_certs_ignoring_dates > 3 * table.nc_certs
+
+
+def test_section43_issuer_involvement(benchmark, corpus, reports, write_output):
+    stats = benchmark.pedantic(
+        issuer_involvement, args=(corpus, reports), rounds=1, iterations=1
+    )
+    write_output(
+        "section43_issuers",
+        [
+            f"Issuer organizations in corpus: {stats.total_orgs} (paper: 698)",
+            f"Organizations with NC Unicerts: {stats.nc_orgs} (paper: 505)",
+            f"Trusted organizations with NC: {stats.trusted_nc_orgs} (paper: 78 CCADB owners)",
+        ],
+    )
+    assert 0 < stats.nc_orgs <= stats.total_orgs
+
+
+def test_section51_encoding_errors(benchmark, corpus, write_output):
+    analysis = benchmark.pedantic(encoding_error_analysis, args=(corpus,), rounds=1, iterations=1)
+    write_output(
+        "section51_encoding_errors",
+        [
+            f"Certs with ASN.1 encoding errors: {analysis.total} (paper: 7,415)",
+            f"  verified to trusted roots via AIA: {analysis.trusted_chain} (paper: 5,772)",
+            f"  errors in Subject: {analysis.in_subject} (paper: 150)",
+            f"  errors in SAN: {analysis.in_san} (paper: 110)",
+            f"  errors in CertificatePolicies: {analysis.in_certificate_policies} (paper: 5,575)",
+        ],
+    )
+    assert analysis.in_certificate_policies >= analysis.in_subject
+    assert analysis.trusted_chain <= analysis.total

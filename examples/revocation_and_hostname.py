@@ -1,0 +1,35 @@
+"""Parsing-flaw exploit chains: revocation subversion + hostname bypass.
+
+Demonstrates the two Section 5 attack impacts end to end:
+
+1. CRL-URL rewriting (Section 5.2): PyOpenSSL's control-character
+   replacement redirects the revocation check to an attacker host.
+2. BMPString hostname bypass (Section 5.1): a CN whose UTF-16 code
+   units spell "githube.cn" validates on ASCII-incompatible decoders.
+
+Run with:  python examples/revocation_and_hostname.py
+"""
+
+from repro.threats.revocation import revocation_subversion_experiment
+from repro.tlslibs.hostname import bmp_cn_bypass_demo
+
+
+def main() -> None:
+    print("=== revocation subversion (Section 5.2) ===")
+    print("certificate CRLDP: 'http://ssl\\x01test.com/ca.crl' (CA-signed)")
+    print("attacker controls: 'http://ssl.test.com/ca.crl'\n")
+    for name, outcome in revocation_subversion_experiment().items():
+        url = (outcome.checked_url or "").replace("\x01", "\\x01")
+        verdict = "ACCEPTED (revocation missed!)" if outcome.accepted else "rejected"
+        print(f"  {name:<12} fetched {url:<32} -> certificate {verdict}")
+
+    print("\n=== BMPString hostname-validation bypass (Section 5.1) ===")
+    print("CN = BMPString '杩瑨畢攮据' (UTF-16BE bytes == b'githube.cn')\n")
+    for name, verdict in bmp_cn_bypass_demo().items():
+        seen = verdict.candidates[0] if verdict.candidates else "?"
+        result = "VALIDATES githube.cn (bypass!)" if verdict.matched else "no match"
+        print(f"  {name:<20} parsed CN as {seen!r:<18} -> {result}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro — reproduction of the IMC 2025 Unicert compliance study.
+
+The package implements, from scratch, every system the paper describes:
+
+* :mod:`repro.asn1` — ASN.1/DER encoding substrate with the eight string
+  types used by RFC 5280 certificates.
+* :mod:`repro.uni` — Unicode substrate: Punycode (RFC 3492), IDNA2008
+  label validation, NFC checks, Unicode blocks, confusables.
+* :mod:`repro.x509` — X.509 certificate model, builder, and chain
+  verification with a simulation-grade signer.
+* :mod:`repro.lint` — the paper's primary contribution: a Unicert-aware
+  certificate linter with 95 constraint rules.
+* :mod:`repro.tlslibs` — executable behaviour models of 9 TLS libraries
+  plus the differential-testing and inference harness of Section 3.2.
+* :mod:`repro.testgen` — the test-Unicert generator of Section 3.2.
+* :mod:`repro.tls` — TLS 1.2 record/handshake framing and the passive
+  certificate sniffer of the Section 6.2 threat model.
+* :mod:`repro.ct` — Certificate Transparency substrate: Merkle-tree log,
+  monitor models, and the calibrated synthetic corpus generator.
+* :mod:`repro.threats` — the empirical threat scenarios of Section 6 and
+  Appendix F (CT monitor misleading, traffic obfuscation, user spoofing).
+* :mod:`repro.analysis` — the computations behind every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "asn1",
+    "uni",
+    "x509",
+    "lint",
+    "tlslibs",
+    "testgen",
+    "tls",
+    "ct",
+    "threats",
+    "analysis",
+]

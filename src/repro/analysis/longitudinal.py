@@ -1,0 +1,106 @@
+"""Figure 2 (issuance trend) and Figure 3 (validity CDF) computations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ct.corpus import Corpus, TrustStatus
+from ..lint import CertificateReport
+
+
+@dataclass
+class TrendSeries:
+    """Per-year counts for one Figure 2 line."""
+
+    label: str
+    counts: dict[int, int] = field(default_factory=dict)
+
+    def add(self, year: int) -> None:
+        self.counts[year] = self.counts.get(year, 0) + 1
+
+    def series(self, years: list[int]) -> list[int]:
+        return [self.counts.get(year, 0) for year in years]
+
+
+@dataclass
+class IssuanceTrend:
+    """All Figure 2 lines."""
+
+    years: list[int] = field(default_factory=lambda: list(range(2012, 2026)))
+    all_unicerts: TrendSeries = field(default_factory=lambda: TrendSeries("all"))
+    trusted: TrendSeries = field(default_factory=lambda: TrendSeries("trusted"))
+    alive: TrendSeries = field(default_factory=lambda: TrendSeries("alive"))
+    noncompliant: TrendSeries = field(default_factory=lambda: TrendSeries("noncompliant"))
+    nc_trusted: TrendSeries = field(default_factory=lambda: TrendSeries("nc trusted"))
+    nc_alive: TrendSeries = field(default_factory=lambda: TrendSeries("nc alive"))
+
+    def trusted_share_per_year(self) -> dict[int, float]:
+        shares = {}
+        for year in self.years:
+            total = self.all_unicerts.counts.get(year, 0)
+            if total:
+                shares[year] = self.trusted.counts.get(year, 0) / total
+        return shares
+
+
+def issuance_trend(corpus: Corpus, reports: list[CertificateReport]) -> IssuanceTrend:
+    """Compute every Figure 2 line from the corpus and lint reports."""
+    trend = IssuanceTrend()
+    for record, report in zip(corpus.records, reports):
+        year = record.issued_at.year
+        trend.all_unicerts.add(year)
+        if record.trusted_at_issuance:
+            trend.trusted.add(year)
+        if record.alive:
+            trend.alive.add(year)
+        if report.noncompliant:
+            trend.noncompliant.add(year)
+            if record.trusted_at_issuance:
+                trend.nc_trusted.add(year)
+            if record.alive:
+                trend.nc_alive.add(year)
+    return trend
+
+
+@dataclass
+class ValidityCDF:
+    """One Figure 3 curve: sorted validity periods in days."""
+
+    label: str
+    days: list[float] = field(default_factory=list)
+
+    def cdf_at(self, day: float) -> float:
+        """Fraction of certificates valid for at most ``day`` days."""
+        if not self.days:
+            return 0.0
+        count = sum(1 for d in self.days if d <= day)
+        return count / len(self.days)
+
+    def percentile(self, q: float) -> float:
+        if not self.days:
+            return 0.0
+        ordered = sorted(self.days)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+
+def validity_cdfs(
+    corpus: Corpus, reports: list[CertificateReport]
+) -> dict[str, ValidityCDF]:
+    """Figure 3: CDFs for IDNCerts, other Unicerts, NC, and all."""
+    curves = {
+        "all": ValidityCDF("all Unicerts"),
+        "idn": ValidityCDF("IDNCerts"),
+        "other": ValidityCDF("other Unicerts"),
+        "noncompliant": ValidityCDF("noncompliant"),
+    }
+    for record, report in zip(corpus.records, reports):
+        days = record.certificate.validity_days
+        curves["all"].days.append(days)
+        if report.noncompliant:
+            curves["noncompliant"].days.append(days)
+        elif record.is_idn:
+            curves["idn"].days.append(days)
+        else:
+            curves["other"].days.append(days)
+    return curves

@@ -1,0 +1,67 @@
+"""Text rendering of Figure 2 (log-scale trend) and Figure 3 (CDF).
+
+The paper's figures are matplotlib plots; these renderers produce the
+same curves as ASCII charts so the benchmark outputs are self-contained
+and diffable.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .longitudinal import IssuanceTrend, ValidityCDF
+
+
+def _log_bar(value: int, max_value: int, width: int = 40) -> str:
+    if value <= 0:
+        return ""
+    scale = math.log10(max(max_value, 10))
+    filled = int(width * math.log10(value + 1) / scale) if scale else 0
+    return "#" * max(1, min(filled, width))
+
+
+def render_trend(trend: IssuanceTrend, width: int = 40) -> list[str]:
+    """Figure 2 as per-year log-scale bars (all vs noncompliant)."""
+    peak = max(trend.all_unicerts.counts.values(), default=1)
+    lines = [
+        "Figure 2 (ASCII): Unicert issuance per year, log scale",
+        f"{'year':<6}{'all':>8}  {'bar (log)':<{width}}  {'NC':>5}",
+    ]
+    for year in trend.years:
+        total = trend.all_unicerts.counts.get(year, 0)
+        nc = trend.noncompliant.counts.get(year, 0)
+        lines.append(
+            f"{year:<6}{total:>8}  {_log_bar(total, peak, width):<{width}}  {nc:>5}"
+        )
+    return lines
+
+
+def render_cdf(
+    curves: dict[str, ValidityCDF],
+    keys: tuple[str, ...] = ("idn", "other", "noncompliant"),
+    max_days: int = 1000,
+    rows: int = 12,
+    width: int = 56,
+) -> list[str]:
+    """Figure 3 as an ASCII CDF plot (one symbol per curve)."""
+    symbols = {"idn": "i", "other": "o", "noncompliant": "n", "all": "a"}
+    grid = [[" "] * width for _ in range(rows)]
+    for key in keys:
+        curve = curves.get(key)
+        if curve is None or not curve.days:
+            continue
+        symbol = symbols.get(key, "?")
+        for col in range(width):
+            day = (col + 1) / width * max_days
+            fraction = curve.cdf_at(day)
+            row = rows - 1 - min(rows - 1, int(fraction * (rows - 1) + 0.5))
+            if grid[row][col] == " ":
+                grid[row][col] = symbol
+    lines = ["Figure 3 (ASCII): validity-period CDF (x: 0..%d days, y: 0..100%%)" % max_days]
+    for index, row in enumerate(grid):
+        fraction = (rows - 1 - index) / (rows - 1)
+        lines.append(f"{fraction:>4.0%} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    legend = ", ".join(f"{symbols.get(k, '?')}={curves[k].label}" for k in keys if k in curves)
+    lines.append("      " + legend)
+    return lines

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the ASN.1/DER substrate."""
+
+
+class ASN1Error(Exception):
+    """Base class for all ASN.1 encoding/decoding errors."""
+
+
+class DEREncodeError(ASN1Error):
+    """A value cannot be encoded under the Distinguished Encoding Rules."""
+
+
+class DERDecodeError(ASN1Error):
+    """A byte string is not a valid DER encoding.
+
+    Raised for truncated TLVs, non-minimal lengths, indefinite lengths,
+    trailing garbage, and similar structural violations.
+    """
+
+    def __init__(self, message: str, offset: int | None = None):
+        super().__init__(message if offset is None else f"{message} (at offset {offset})")
+        self.offset = offset
+
+
+class StringDecodeError(ASN1Error):
+    """A string value's content octets cannot be decoded under its type.
+
+    For example a UTF8String whose value is not valid UTF-8, or a
+    BMPString with an odd number of octets.
+    """
+
+
+class CharsetError(ASN1Error):
+    """A decoded string contains characters outside its type's charset.
+
+    Raised in *strict* mode when, e.g., a PrintableString contains ``@``
+    or an IA5String contains a byte above 0x7F.
+    """
+
+    def __init__(self, message: str, offending: str = ""):
+        super().__init__(message)
+        #: The offending characters, when known.
+        self.offending = offending

@@ -1,0 +1,291 @@
+"""Codecs and charset validators for the eight ASN.1 string types.
+
+Each RFC 5280-relevant string type (Table 8 of the paper) gets a
+:class:`StringSpec` that knows its universal tag, its standard character
+set, and how to encode/decode content octets.  ``strict=True`` enforces
+the standard charset (raising :class:`CharsetError`); ``strict=False``
+mimics the tolerant behaviour many real CAs and parsers exhibit, which is
+exactly what the paper's test-certificate generator needs in order to
+craft noncompliant Unicerts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .errors import CharsetError, StringDecodeError
+from .tags import UniversalTag
+
+#: Characters allowed in a PrintableString (X.680 41.4).
+PRINTABLE_STRING_CHARSET = frozenset(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    "abcdefghijklmnopqrstuvwxyz"
+    "0123456789"
+    " '()+,-./:=?"
+)
+
+#: Characters allowed in a NumericString (digits and space).
+NUMERIC_STRING_CHARSET = frozenset("0123456789 ")
+
+
+def _printable_allowed(ch: str) -> bool:
+    return ch in PRINTABLE_STRING_CHARSET
+
+
+def _numeric_allowed(ch: str) -> bool:
+    return ch in NUMERIC_STRING_CHARSET
+
+
+def _ia5_allowed(ch: str) -> bool:
+    return ord(ch) <= 0x7F
+
+
+def _visible_allowed(ch: str) -> bool:
+    return 0x20 <= ord(ch) <= 0x7E
+
+
+def _utf8_allowed(ch: str) -> bool:
+    # Any Unicode scalar value; surrogates are excluded by UTF-8 itself.
+    return not 0xD800 <= ord(ch) <= 0xDFFF
+
+
+def _bmp_allowed(ch: str) -> bool:
+    cp = ord(ch)
+    return cp <= 0xFFFF and not 0xD800 <= cp <= 0xDFFF
+
+
+def _universal_allowed(ch: str) -> bool:
+    return not 0xD800 <= ord(ch) <= 0xDFFF
+
+
+# T.61 (TeletexString) — the commonly implemented G0 subset.  Full T.61 is
+# a shift-coded multi-charset monster; real-world parsers (and real-world
+# CAs) treat it approximately as Latin-1, which is the behaviour the paper
+# observes ("Störi AG" mangled to "St�ri AG").  We model a strict
+# charset of ASCII-printable plus the Latin-1 supplement letters reachable
+# through T.61 combining sequences, and a lenient Latin-1 passthrough.
+_T61_EXTRA = frozenset(
+    " ¡¢£¤¥§«°±²"
+    "³µ¶·»¼½¾¿"
+    "ÀÁÂÃÄÅÆÇÈÉÊËÌÍÎÏÑÒÓÔÕÖØÙÚÛÜÝ"
+    "àáâãäåæçèéêëìíîïñòóôõöøùúûüýÿßÞþÐð"
+)
+
+
+def _teletex_allowed(ch: str) -> bool:
+    return _visible_allowed(ch) or ch in _T61_EXTRA
+
+
+def _check_charset(text: str, allowed: Callable[[str], bool], type_name: str) -> None:
+    bad = sorted({ch for ch in text if not allowed(ch)})
+    if bad:
+        shown = ", ".join(f"U+{ord(ch):04X}" for ch in bad[:8])
+        raise CharsetError(
+            f"{type_name} contains character(s) outside its charset: {shown}",
+            offending="".join(bad),
+        )
+
+
+@dataclass(frozen=True)
+class StringSpec:
+    """Codec + charset validator for one ASN.1 string type."""
+
+    name: str
+    tag_number: int
+    #: Predicate deciding whether a character is in the standard charset.
+    allowed: Callable[[str], bool] = field(repr=False)
+    #: Python codec used for the raw octet transform.
+    codec: str = "ascii"
+
+    def validate(self, text: str) -> None:
+        """Raise :class:`CharsetError` if ``text`` leaves the charset."""
+        _check_charset(text, self.allowed, self.name)
+
+    def violations(self, text: str) -> list[str]:
+        """Return the distinct characters of ``text`` outside the charset."""
+        return sorted({ch for ch in text if not self.allowed(ch)})
+
+    def encode(self, text: str, strict: bool = True) -> bytes:
+        """Encode ``text`` to content octets.
+
+        With ``strict=False`` the charset check is skipped and characters
+        that the octet codec cannot represent raise only if they are
+        physically unrepresentable (e.g. U+4E2D in an IA5String).
+        """
+        if strict:
+            self.validate(text)
+        if self.codec == "ascii" and not strict:
+            # Tolerant single-octet behaviour: Latin-1 keeps
+            # U+0000..U+00FF byte-transparent; anything higher falls
+            # through to UTF-8 bytes, modelling CAs that stuff UTF-8
+            # into IA5String/PrintableString fields.
+            try:
+                return text.encode("ascii")
+            except UnicodeEncodeError:
+                try:
+                    return text.encode("latin-1")
+                except UnicodeEncodeError:
+                    return text.encode("utf-8")
+        if self.codec == "latin-1" and not strict:
+            return text.encode("latin-1")
+        try:
+            return text.encode(self.codec)
+        except UnicodeEncodeError as exc:
+            raise CharsetError(
+                f"{self.name} cannot represent {text!r} via {self.codec}"
+            ) from exc
+
+    def decode(self, data: bytes, strict: bool = True) -> str:
+        """Decode content octets to text.
+
+        In strict mode the decoded text must also satisfy the charset.
+        In lenient mode single-octet types fall back to Latin-1, keeping
+        high bytes byte-transparent the way permissive parsers do.
+        """
+        codec = self.codec
+        if not strict and codec == "ascii":
+            codec = "latin-1"
+        try:
+            text = data.decode(codec)
+        except UnicodeDecodeError as exc:
+            raise StringDecodeError(f"invalid {self.name} content octets: {exc}") from exc
+        if self.codec == "utf-16-be" and len(data) % 2:
+            raise StringDecodeError(f"{self.name} content has odd octet count")
+        if strict:
+            self.validate(text)
+        return text
+
+
+class _BMPStringSpec(StringSpec):
+    """BMPString is UCS-2: exactly two octets per character, no surrogates."""
+
+    def decode(self, data: bytes, strict: bool = True) -> str:
+        if len(data) % 2:
+            raise StringDecodeError("BMPString content has odd octet count")
+        chars = []
+        for i in range(0, len(data), 2):
+            cp = (data[i] << 8) | data[i + 1]
+            if 0xD800 <= cp <= 0xDFFF:
+                if strict:
+                    raise StringDecodeError(
+                        f"BMPString contains surrogate code unit U+{cp:04X}"
+                    )
+                cp = 0xFFFD
+            chars.append(chr(cp))
+        text = "".join(chars)
+        if strict:
+            self.validate(text)
+        return text
+
+    def encode(self, text: str, strict: bool = True) -> bytes:
+        if strict:
+            self.validate(text)
+        out = bytearray()
+        for ch in text:
+            cp = ord(ch)
+            if cp > 0xFFFF:
+                raise CharsetError(f"BMPString cannot represent U+{cp:06X}")
+            out += bytes([cp >> 8, cp & 0xFF])
+        return bytes(out)
+
+
+class _UniversalStringSpec(StringSpec):
+    """UniversalString is UCS-4 big-endian: four octets per character."""
+
+    def decode(self, data: bytes, strict: bool = True) -> str:
+        if len(data) % 4:
+            raise StringDecodeError("UniversalString content not a multiple of 4 octets")
+        chars = []
+        for i in range(0, len(data), 4):
+            cp = int.from_bytes(data[i : i + 4], "big")
+            if cp > 0x10FFFF or 0xD800 <= cp <= 0xDFFF:
+                if strict:
+                    raise StringDecodeError(f"UniversalString invalid code point {cp:#x}")
+                cp = 0xFFFD
+            chars.append(chr(cp))
+        return "".join(chars)
+
+    def encode(self, text: str, strict: bool = True) -> bytes:
+        if strict:
+            self.validate(text)
+        return b"".join(ord(ch).to_bytes(4, "big") for ch in text)
+
+
+class _TeletexStringSpec(StringSpec):
+    """TeletexString modelled as the Latin-1-compatible T.61 subset."""
+
+    def decode(self, data: bytes, strict: bool = True) -> str:
+        text = data.decode("latin-1")
+        if strict:
+            self.validate(text)
+        return text
+
+    def encode(self, text: str, strict: bool = True) -> bytes:
+        if strict:
+            self.validate(text)
+        try:
+            return text.encode("latin-1")
+        except UnicodeEncodeError as exc:
+            raise CharsetError(
+                f"TeletexString (T.61 model) cannot represent {text!r}"
+            ) from exc
+
+
+UTF8_STRING = StringSpec("UTF8String", UniversalTag.UTF8_STRING, _utf8_allowed, "utf-8")
+NUMERIC_STRING = StringSpec(
+    "NumericString", UniversalTag.NUMERIC_STRING, _numeric_allowed, "ascii"
+)
+PRINTABLE_STRING = StringSpec(
+    "PrintableString", UniversalTag.PRINTABLE_STRING, _printable_allowed, "ascii"
+)
+TELETEX_STRING = _TeletexStringSpec(
+    "TeletexString", UniversalTag.TELETEX_STRING, _teletex_allowed, "latin-1"
+)
+IA5_STRING = StringSpec("IA5String", UniversalTag.IA5_STRING, _ia5_allowed, "ascii")
+VISIBLE_STRING = StringSpec(
+    "VisibleString", UniversalTag.VISIBLE_STRING, _visible_allowed, "ascii"
+)
+UNIVERSAL_STRING = _UniversalStringSpec(
+    "UniversalString", UniversalTag.UNIVERSAL_STRING, _universal_allowed, "utf-32-be"
+)
+BMP_STRING = _BMPStringSpec("BMPString", UniversalTag.BMP_STRING, _bmp_allowed, "utf-16-be")
+
+#: All specs keyed by universal tag number.
+STRING_SPECS: dict[int, StringSpec] = {
+    spec.tag_number: spec
+    for spec in (
+        UTF8_STRING,
+        NUMERIC_STRING,
+        PRINTABLE_STRING,
+        TELETEX_STRING,
+        IA5_STRING,
+        VISIBLE_STRING,
+        UNIVERSAL_STRING,
+        BMP_STRING,
+    )
+}
+
+#: Specs keyed by their standard name.
+STRING_SPECS_BY_NAME: dict[str, StringSpec] = {
+    spec.name: spec for spec in STRING_SPECS.values()
+}
+
+#: DirectoryString CHOICE alternatives (RFC 5280 4.1.2.4).
+DIRECTORY_STRING_TAGS = frozenset(
+    {
+        UniversalTag.UTF8_STRING,
+        UniversalTag.PRINTABLE_STRING,
+        UniversalTag.TELETEX_STRING,
+        UniversalTag.UNIVERSAL_STRING,
+        UniversalTag.BMP_STRING,
+    }
+)
+
+
+def spec_for_tag(tag_number: int) -> StringSpec:
+    """Look up the spec for a universal string tag number."""
+    try:
+        return STRING_SPECS[tag_number]
+    except KeyError:
+        raise StringDecodeError(f"tag {tag_number} is not a known string type") from None

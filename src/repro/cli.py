@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``lint <file> [--ignore-effective-dates]`` — lint a PEM/DER
+  certificate with the 95 Unicert rules and print the findings.
+* ``rules [--new-only] [--type TYPE]`` — list the constraint rules.
+* ``corpus [--scale S] [--seed N]`` — generate a calibrated corpus and
+  print the Table 1-style compliance landscape.
+* ``differential`` — print the derived Table 4/5 parser matrices.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import run_lints
+    from .x509 import Certificate
+    from .x509.pem import load_certificate_bytes
+
+    data = sys.stdin.buffer.read() if args.file == "-" else open(args.file, "rb").read()
+    try:
+        cert = Certificate.from_der(load_certificate_bytes(data))
+    except Exception as exc:
+        print(f"error: input is not a parseable certificate: {exc}", file=sys.stderr)
+        return 2
+    report = run_lints(
+        cert, respect_effective_dates=not args.ignore_effective_dates
+    )
+    if args.json:
+        from .lint import report_to_json
+
+        print(report_to_json(report, cert))
+        return 1 if report.findings else 0
+    print(f"subject: {cert.subject.rfc4514_string()}")
+    print(f"issuer:  {cert.issuer.rfc4514_string()}")
+    print(f"validity: {cert.not_before.date()} .. {cert.not_after.date()}")
+    if not report.findings:
+        print("compliant: no findings")
+        return 0
+    print(f"{len(report.findings)} finding(s):")
+    for result in report.findings:
+        print(f"  [{result.status.value.upper():5}] {result.lint.name}")
+        if result.details:
+            print(f"          {result.details}")
+        print(f"          {result.lint.citation}")
+    return 1
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    from .lint import CONSTRAINT_RULES
+
+    shown = 0
+    for rule in CONSTRAINT_RULES:
+        if args.new_only and not rule.new:
+            continue
+        if args.type and rule.nc_type.value != args.type:
+            continue
+        marker = "NEW" if rule.new else "   "
+        print(f"{rule.rule_id} {marker} [{rule.requirement_level:6}] {rule.lint_name}")
+        if args.verbose:
+            print(f"      field: {rule.field}")
+            print(f"      structures: {rule.structures}")
+            print(f"      source: {rule.source_document}")
+            print(f"      requirement: {rule.requirement}")
+        shown += 1
+    print(f"\n{shown} rule(s)")
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from .analysis import build_table1, lint_corpus, top_lints
+    from .ct import CorpusGenerator
+    from .lint import NoncomplianceType
+
+    corpus = CorpusGenerator(seed=args.seed, scale=args.scale).generate()
+    if args.export:
+        from .ct import export_corpus
+
+        root = export_corpus(corpus, args.export)
+        print(f"exported corpus to {root}")
+    print(f"generated {len(corpus.records)} Unicerts "
+          f"({len(corpus.by_issuer())} issuer organizations)")
+    reports = lint_corpus(corpus)
+    table = build_table1(corpus, reports)
+    print(f"noncompliant: {table.nc_certs} ({table.nc_rate:.2%})")
+    print(f"trusted share: {table.trusted_share:.1%}")
+    for nc_type in NoncomplianceType:
+        row = table.rows[nc_type]
+        print(f"  {nc_type.value:<22} {row.nc_certs:>6}")
+    print("top lints:")
+    for name, count in top_lints(reports, count=args.top):
+        print(f"  {count:>6}  {name}")
+    return 0
+
+
+def _cmd_differential(args: argparse.Namespace) -> int:
+    from .tlslibs import (
+        ALL_PROFILES,
+        TABLE4_SCENARIOS,
+        derive_charcheck_report,
+        derive_decoding_matrix,
+    )
+
+    libraries = [p.name for p in ALL_PROFILES]
+    matrix = derive_decoding_matrix(ALL_PROFILES)
+    print("decoding matrix (Table 4):")
+    for label, _tag, _context in TABLE4_SCENARIOS:
+        cells = " ".join(
+            f"{lib.split()[0][:8]}={matrix.cell(label, lib).practice.symbol}"
+            for lib in libraries
+        )
+        print(f"  {label:<26} {cells}")
+    report = derive_charcheck_report(ALL_PROFILES)
+    print("character checks (Table 5):")
+    for row in sorted({key[0] for key in report.cells}):
+        cells = " ".join(
+            f"{lib.split()[0][:8]}={report.cell(row, lib)}" for lib in libraries
+        )
+        print(f"  {row:<30} {cells}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the repro CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Unicert compliance toolkit (IMC 2025 reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser("lint", help="lint a PEM/DER certificate")
+    lint.add_argument("file", help="path to certificate, or '-' for stdin")
+    lint.add_argument("--ignore-effective-dates", action="store_true")
+    lint.add_argument("--json", action="store_true", help="emit a JSON report")
+    lint.set_defaults(func=_cmd_lint)
+
+    rules = sub.add_parser("rules", help="list the 95 constraint rules")
+    rules.add_argument("--new-only", action="store_true")
+    rules.add_argument("--type", help="filter by noncompliance type name")
+    rules.add_argument("-v", "--verbose", action="store_true")
+    rules.set_defaults(func=_cmd_rules)
+
+    corpus = sub.add_parser("corpus", help="generate + lint a calibrated corpus")
+    corpus.add_argument("--scale", type=float, default=1 / 10000)
+    corpus.add_argument("--seed", type=int, default=2025)
+    corpus.add_argument("--top", type=int, default=10)
+    corpus.add_argument("--export", help="write the corpus dataset to a directory")
+    corpus.set_defaults(func=_cmd_corpus)
+
+    diff = sub.add_parser("differential", help="derive the parser matrices")
+    diff.set_defaults(func=_cmd_differential)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: parse arguments and dispatch to a subcommand."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

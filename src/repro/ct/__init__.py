@@ -1,0 +1,56 @@
+"""Certificate Transparency substrate: Merkle log, monitors, corpus."""
+
+from .merkle import MerkleTree, verify_consistency, verify_inclusion
+from .log import CTLog, LogEntry, SignedCertificateTimestamp
+from .corpus import (
+    ABSOLUTE_DEFECTS,
+    ANALYSIS_DATE,
+    Corpus,
+    CorpusGenerator,
+    CorpusRecord,
+    DEFECT_PLAN,
+    ISSUERS,
+    LATENT_PLAN,
+    OTHER_SPECS,
+    PAPER_TOTAL_NC,
+    PAPER_TOTAL_UNICERTS,
+    IssuerSpec,
+    TrustStatus,
+)
+from .dataset import export_corpus, load_corpus
+from .monitors import (
+    ALL_MONITORS,
+    CTMonitor,
+    MonitorFeatures,
+    MONITORS_BY_NAME,
+    QueryResult,
+)
+
+__all__ = [
+    "export_corpus",
+    "load_corpus",
+    "MerkleTree",
+    "verify_consistency",
+    "verify_inclusion",
+    "CTLog",
+    "LogEntry",
+    "SignedCertificateTimestamp",
+    "Corpus",
+    "CorpusGenerator",
+    "CorpusRecord",
+    "IssuerSpec",
+    "TrustStatus",
+    "ISSUERS",
+    "OTHER_SPECS",
+    "DEFECT_PLAN",
+    "ABSOLUTE_DEFECTS",
+    "LATENT_PLAN",
+    "ANALYSIS_DATE",
+    "PAPER_TOTAL_NC",
+    "PAPER_TOTAL_UNICERTS",
+    "ALL_MONITORS",
+    "MONITORS_BY_NAME",
+    "CTMonitor",
+    "MonitorFeatures",
+    "QueryResult",
+]

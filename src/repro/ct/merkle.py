@@ -1,0 +1,154 @@
+"""RFC 6962 Merkle hash tree with inclusion and consistency proofs."""
+
+from __future__ import annotations
+
+import hashlib
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+
+def leaf_hash(data: bytes) -> bytes:
+    """MTH leaf hash: SHA-256(0x00 || leaf)."""
+    return hashlib.sha256(_LEAF_PREFIX + data).digest()
+
+
+def node_hash(left: bytes, right: bytes) -> bytes:
+    """Interior node hash: SHA-256(0x01 || left || right)."""
+    return hashlib.sha256(_NODE_PREFIX + left + right).digest()
+
+
+def _largest_power_of_two_below(n: int) -> int:
+    k = 1
+    while k * 2 < n:
+        k *= 2
+    return k
+
+
+def _mth(leaves: list[bytes]) -> bytes:
+    """Merkle Tree Hash over leaf *data* (RFC 6962 2.1)."""
+    if not leaves:
+        return hashlib.sha256(b"").digest()
+    if len(leaves) == 1:
+        return leaf_hash(leaves[0])
+    k = _largest_power_of_two_below(len(leaves))
+    return node_hash(_mth(leaves[:k]), _mth(leaves[k:]))
+
+
+def _audit_path(index: int, leaves: list[bytes]) -> list[bytes]:
+    """PATH(m, D[n]) — RFC 6962 2.1.1."""
+    if len(leaves) <= 1:
+        return []
+    k = _largest_power_of_two_below(len(leaves))
+    if index < k:
+        return _audit_path(index, leaves[:k]) + [_mth(leaves[k:])]
+    return _audit_path(index - k, leaves[k:]) + [_mth(leaves[:k])]
+
+
+def _consistency_proof(m: int, leaves: list[bytes], complete: bool = True) -> list[bytes]:
+    """PROOF(m, D[n]) — RFC 6962 2.1.2."""
+    n = len(leaves)
+    if m == n:
+        return [] if complete else [_mth(leaves)]
+    k = _largest_power_of_two_below(n)
+    if m <= k:
+        return _consistency_proof(m, leaves[:k], complete=complete) + [_mth(leaves[k:])]
+    return _consistency_proof(m - k, leaves[k:], complete=False) + [_mth(leaves[:k])]
+
+
+class MerkleTree:
+    """An append-only Merkle tree over arbitrary byte-string leaves."""
+
+    def __init__(self):
+        self._leaves: list[bytes] = []
+
+    def append(self, data: bytes) -> int:
+        """Append a leaf; return its index."""
+        self._leaves.append(bytes(data))
+        return len(self._leaves) - 1
+
+    @property
+    def size(self) -> int:
+        return len(self._leaves)
+
+    def root(self, size: int | None = None) -> bytes:
+        """Tree head at ``size`` (defaults to the current size)."""
+        size = self.size if size is None else size
+        if not 0 <= size <= self.size:
+            raise ValueError(f"size {size} out of range")
+        return _mth(self._leaves[:size])
+
+    def inclusion_proof(self, index: int, size: int | None = None) -> list[bytes]:
+        size = self.size if size is None else size
+        if not 0 <= index < size <= self.size:
+            raise ValueError("index/size out of range")
+        return _audit_path(index, self._leaves[:size])
+
+    def consistency_proof(self, old_size: int, new_size: int | None = None) -> list[bytes]:
+        new_size = self.size if new_size is None else new_size
+        if not 0 < old_size <= new_size <= self.size:
+            raise ValueError("sizes out of range")
+        return _consistency_proof(old_size, self._leaves[:new_size])
+
+
+def verify_inclusion(
+    leaf: bytes,
+    index: int,
+    size: int,
+    proof: list[bytes],
+    root: bytes,
+) -> bool:
+    """Verify PATH(index, D[size]) against a signed tree head."""
+    if not 0 <= index < size:
+        return False
+    computed = leaf_hash(leaf)
+    fn, sn = index, size - 1
+    for node in proof:
+        if sn == 0:
+            return False
+        if fn % 2 == 1 or fn == sn:
+            computed = node_hash(node, computed)
+            while fn % 2 == 0 and fn != 0:
+                fn >>= 1
+                sn >>= 1
+        else:
+            computed = node_hash(computed, node)
+        fn >>= 1
+        sn >>= 1
+    return sn == 0 and computed == root
+
+
+def verify_consistency(
+    old_size: int,
+    new_size: int,
+    old_root: bytes,
+    new_root: bytes,
+    proof: list[bytes],
+) -> bool:
+    """Verify PROOF(old_size, D[new_size]) — RFC 6962 2.1.4.2."""
+    if old_size == new_size:
+        return old_root == new_root and not proof
+    if not 0 < old_size < new_size or not proof:
+        return False
+    nodes = list(proof)
+    if old_size & (old_size - 1) == 0:  # power of two: implicit first node
+        nodes.insert(0, old_root)
+    fn, sn = old_size - 1, new_size - 1
+    while fn & 1:
+        fn >>= 1
+        sn >>= 1
+    fr = sr = nodes[0]
+    for node in nodes[1:]:
+        if sn == 0:
+            return False
+        if fn & 1 or fn == sn:
+            fr = node_hash(node, fr)
+            sr = node_hash(node, sr)
+            while fn != 0 and fn & 1 == 0:
+                fn >>= 1
+                sn >>= 1
+        else:
+            sr = node_hash(sr, node)
+        fn >>= 1
+        sn >>= 1
+    return sn == 0 and fr == old_root and sr == new_root

@@ -1,0 +1,204 @@
+"""Lint framework: metadata, registry, statuses, and the Lint base class.
+
+Mirrors the structure of Zlint (which the paper extends): every lint has
+a name, a citation/source, a requirement level that maps to a severity,
+and an *effective date* — the date from which the rule applies to newly
+issued certificates.  Certificates issued before a lint's effective date
+receive :attr:`LintStatus.NOT_EFFECTIVE` rather than an error, exactly
+as the paper's methodology prescribes (Section 3.1.2).
+"""
+
+from __future__ import annotations
+
+import abc
+import datetime as _dt
+import enum
+from dataclasses import dataclass, field
+
+from ..x509 import Certificate
+
+
+class Severity(enum.Enum):
+    """Requirement level mapped to finding severity (Zlint-style)."""
+
+    ERROR = "error"  # MUST / MUST NOT violations
+    WARN = "warning"  # SHOULD / SHOULD NOT violations
+    NOTICE = "notice"
+    INFO = "info"
+
+
+class Source(enum.Enum):
+    """Where a lint's requirement comes from."""
+
+    RFC5280 = "RFC 5280"
+    RFC6818 = "RFC 6818"
+    RFC8399 = "RFC 8399"
+    RFC9549 = "RFC 9549"
+    RFC9598 = "RFC 9598"
+    RFC1034 = "RFC 1034"
+    IDNA2008 = "RFC 5890-5893 (IDNA2008)"
+    X680 = "ITU-T X.680"
+    CABF_BR = "CA/B Forum Baseline Requirements"
+    CABF_EV = "CA/B Forum EV Guidelines"
+    COMMUNITY = "Community"
+
+
+class NoncomplianceType(enum.Enum):
+    """The paper's Table 1 taxonomy."""
+
+    INVALID_CHARACTER = "Invalid Character"  # T1
+    BAD_NORMALIZATION = "Bad Normalization"  # T2
+    ILLEGAL_FORMAT = "Illegal Format"  # T3
+    INVALID_ENCODING = "Invalid Encoding"  # T3
+    INVALID_STRUCTURE = "Invalid Structure"  # T3
+    DISCOURAGED_FIELD = "Discouraged Field"  # T3
+
+    @property
+    def top_level(self) -> str:
+        return {
+            NoncomplianceType.INVALID_CHARACTER: "T1",
+            NoncomplianceType.BAD_NORMALIZATION: "T2",
+        }.get(self, "T3")
+
+
+class LintStatus(enum.Enum):
+    """Per-certificate outcome of one lint."""
+    PASS = "pass"
+    ERROR = "error"
+    WARN = "warn"
+    NA = "not_applicable"  # The checked field is absent.
+    NOT_EFFECTIVE = "not_effective"  # Cert predates the rule.
+
+    @property
+    def is_finding(self) -> bool:
+        return self in (LintStatus.ERROR, LintStatus.WARN)
+
+
+#: Effective dates of the standards the lints cite.
+RFC5280_DATE = _dt.datetime(2008, 5, 19)
+RFC6818_DATE = _dt.datetime(2013, 1, 1)
+CABF_BR_DATE = _dt.datetime(2012, 7, 1)
+IDNA2008_DATE = _dt.datetime(2010, 8, 1)
+RFC8399_DATE = _dt.datetime(2018, 5, 1)
+RFC9549_DATE = _dt.datetime(2024, 2, 1)
+RFC9598_DATE = _dt.datetime(2024, 5, 1)
+COMMUNITY_DATE = _dt.datetime(2015, 1, 1)
+
+
+@dataclass(frozen=True)
+class LintMetadata:
+    """Descriptive metadata for one lint."""
+
+    name: str
+    description: str
+    citation: str
+    source: Source
+    severity: Severity
+    nc_type: NoncomplianceType
+    effective_date: _dt.datetime
+    #: True for the 50 lints the paper adds beyond existing linters.
+    new: bool = False
+
+
+@dataclass
+class LintResult:
+    """Outcome of applying one lint to one certificate."""
+
+    lint: LintMetadata
+    status: LintStatus
+    details: str = ""
+
+    @property
+    def is_finding(self) -> bool:
+        return self.status.is_finding
+
+
+class Lint(abc.ABC):
+    """A single compliance check.
+
+    Subclasses (or instances built by the factory helpers) provide
+    ``metadata`` plus :meth:`applies` and :meth:`check`.
+    """
+
+    metadata: LintMetadata
+
+    def applies(self, cert: Certificate) -> bool:
+        """Whether the certificate carries the field this lint checks."""
+        return True
+
+    @abc.abstractmethod
+    def check(self, cert: Certificate) -> tuple[bool, str]:
+        """Return ``(compliant, details)`` for an applicable cert."""
+
+    def run(
+        self,
+        cert: Certificate,
+        issued_at: _dt.datetime | None = None,
+        respect_effective_date: bool = True,
+    ) -> LintResult:
+        """Apply the lint, honoring applicability and effective dates."""
+        if not self.applies(cert):
+            return LintResult(self.metadata, LintStatus.NA)
+        compliant, details = self.check(cert)
+        if compliant:
+            return LintResult(self.metadata, LintStatus.PASS)
+        when = issued_at or cert.not_before
+        if respect_effective_date and when < self.metadata.effective_date:
+            return LintResult(self.metadata, LintStatus.NOT_EFFECTIVE, details)
+        status = (
+            LintStatus.ERROR
+            if self.metadata.severity is Severity.ERROR
+            else LintStatus.WARN
+        )
+        return LintResult(self.metadata, status, details)
+
+
+class FunctionLint(Lint):
+    """A lint assembled from plain functions (used by the factories)."""
+
+    def __init__(self, metadata, applies_fn, check_fn):
+        self.metadata = metadata
+        self._applies = applies_fn
+        self._check = check_fn
+
+    def applies(self, cert: Certificate) -> bool:
+        return self._applies(cert)
+
+    def check(self, cert: Certificate) -> tuple[bool, str]:
+        return self._check(cert)
+
+
+class LintRegistry:
+    """Global registry of lints, keyed by name."""
+
+    def __init__(self):
+        self._lints: dict[str, Lint] = {}
+
+    def register(self, lint: Lint) -> Lint:
+        name = lint.metadata.name
+        if name in self._lints:
+            raise ValueError(f"duplicate lint name {name!r}")
+        self._lints[name] = lint
+        return lint
+
+    def get(self, name: str) -> Lint:
+        return self._lints[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._lints
+
+    def __len__(self) -> int:
+        return len(self._lints)
+
+    def all(self) -> list[Lint]:
+        return list(self._lints.values())
+
+    def by_type(self, nc_type: NoncomplianceType) -> list[Lint]:
+        return [l for l in self._lints.values() if l.metadata.nc_type is nc_type]
+
+    def new_lints(self) -> list[Lint]:
+        return [l for l in self._lints.values() if l.metadata.new]
+
+
+#: The package-wide registry; populated on import of :mod:`repro.lint`.
+REGISTRY = LintRegistry()

@@ -1,0 +1,242 @@
+"""Shared predicates and factory helpers used by the lint modules."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..asn1 import (
+    IA5_STRING,
+    PRINTABLE_STRING,
+    StringSpec,
+    UTF8_STRING,
+)
+from ..asn1.oid import ObjectIdentifier
+from ..x509 import AttributeTypeAndValue, Certificate, GeneralName, GeneralNameKind
+from .framework import (
+    FunctionLint,
+    LintMetadata,
+    NoncomplianceType,
+    REGISTRY,
+    Severity,
+    Source,
+)
+
+# ---------------------------------------------------------------------------
+# Character predicates
+# ---------------------------------------------------------------------------
+
+CONTROL_CHARS = frozenset(chr(cp) for cp in (*range(0x00, 0x20), 0x7F))
+
+
+def has_control_characters(text: str) -> bool:
+    """Whether ``text`` contains C0 controls or DEL."""
+    return any(ch in CONTROL_CHARS for ch in text)
+
+
+def non_printable_ascii(text: str) -> list[str]:
+    """Characters outside U+0020..U+007E (the paper's core definition)."""
+    return sorted({ch for ch in text if not 0x20 <= ord(ch) <= 0x7E})
+
+
+def describe_chars(chars: Iterable[str]) -> str:
+    """Render characters as a short U+XXXX list for lint messages."""
+    return ", ".join(f"U+{ord(ch):04X}" for ch in list(chars)[:8])
+
+
+# ---------------------------------------------------------------------------
+# Field extractors
+# ---------------------------------------------------------------------------
+
+
+def subject_attrs(cert: Certificate, oid: ObjectIdentifier) -> list[AttributeTypeAndValue]:
+    """Subject attributes of the given type."""
+    return cert.subject.get_attrs(oid)
+
+
+def issuer_attrs(cert: Certificate, oid: ObjectIdentifier) -> list[AttributeTypeAndValue]:
+    """Issuer attributes of the given type."""
+    return cert.issuer.get_attrs(oid)
+
+
+def san_names(cert: Certificate, kind: GeneralNameKind) -> list[GeneralName]:
+    """SAN GeneralNames of one kind (empty when no SAN)."""
+    san = cert.san
+    if san is None:
+        return []
+    return [gn for gn in san.names if gn.kind is kind]
+
+
+def ian_names(cert: Certificate, kind: GeneralNameKind) -> list[GeneralName]:
+    """IAN GeneralNames of one kind (empty when no IAN)."""
+    ian = cert.ian
+    if ian is None:
+        return []
+    return [gn for gn in ian.names if gn.kind is kind]
+
+
+def all_dns_names(cert: Certificate) -> list[str]:
+    """DNSNames in SAN plus DNS-shaped CommonNames (the paper's scope)."""
+    names = [gn.value for gn in san_names(cert, GeneralNameKind.DNS_NAME)]
+    for cn in cert.subject_common_names:
+        if "." in cn and " " not in cn and "@" not in cn:
+            names.append(cn)
+    return names
+
+
+# ---------------------------------------------------------------------------
+# Lint factories — the building blocks for the attribute-family lints
+# ---------------------------------------------------------------------------
+
+
+def register_lint(
+    *,
+    name: str,
+    description: str,
+    citation: str,
+    source: Source,
+    severity: Severity,
+    nc_type: NoncomplianceType,
+    effective_date,
+    new: bool,
+    applies: Callable[[Certificate], bool],
+    check: Callable[[Certificate], tuple[bool, str]],
+) -> FunctionLint:
+    """Assemble and register a FunctionLint."""
+    metadata = LintMetadata(
+        name=name,
+        description=description,
+        citation=citation,
+        source=source,
+        severity=severity,
+        nc_type=nc_type,
+        effective_date=effective_date,
+        new=new,
+    )
+    return REGISTRY.register(FunctionLint(metadata, applies, check))
+
+
+def dn_encoding_lint(
+    *,
+    name: str,
+    oid: ObjectIdentifier,
+    attr_label: str,
+    allowed: tuple[StringSpec, ...] = (PRINTABLE_STRING, UTF8_STRING),
+    issuer: bool = False,
+    effective_date,
+    source: Source = Source.RFC5280,
+    citation: str = "RFC 5280 4.1.2.4 (DirectoryString)",
+    severity: Severity = Severity.ERROR,
+    new: bool = True,
+) -> FunctionLint:
+    """Factory: <attr> must be encoded with one of the allowed types.
+
+    This is the paper's ``*_not_printable_or_utf8`` lint family: RFC
+    5280 requires CAs to encode DirectoryString attributes as
+    PrintableString or UTF8String (legacy exceptions aside).
+    """
+    allowed_names = {spec.name for spec in allowed}
+    extractor = issuer_attrs if issuer else subject_attrs
+
+    def applies(cert: Certificate) -> bool:
+        return bool(extractor(cert, oid))
+
+    def check(cert: Certificate) -> tuple[bool, str]:
+        for attr in extractor(cert, oid):
+            if attr.spec.name not in allowed_names:
+                return False, (
+                    f"{attr_label} encoded as {attr.spec.name}; "
+                    f"allowed: {', '.join(sorted(allowed_names))}"
+                )
+        return True, ""
+
+    pretty = "/".join(sorted(allowed_names))
+    return register_lint(
+        name=name,
+        description=f"{attr_label} must use {pretty}",
+        citation=citation,
+        source=source,
+        severity=severity,
+        nc_type=NoncomplianceType.INVALID_ENCODING,
+        effective_date=effective_date,
+        new=new,
+        applies=applies,
+        check=check,
+    )
+
+
+def dn_charset_lint(
+    *,
+    name: str,
+    description: str,
+    citation: str,
+    source: Source,
+    severity: Severity,
+    effective_date,
+    new: bool,
+    issuer: bool = False,
+    value_predicate: Callable[[str], str | None],
+) -> FunctionLint:
+    """Factory: run a character predicate over every DN attribute value.
+
+    ``value_predicate`` returns a violation description or ``None``.
+    """
+
+    def applies(cert: Certificate) -> bool:
+        name_obj = cert.issuer if issuer else cert.subject
+        return not name_obj.is_empty
+
+    def check(cert: Certificate) -> tuple[bool, str]:
+        name_obj = cert.issuer if issuer else cert.subject
+        for attr in name_obj.attributes():
+            problem = value_predicate(attr.value)
+            if problem:
+                return False, f"{attr.short_name}: {problem}"
+        return True, ""
+
+    return register_lint(
+        name=name,
+        description=description,
+        citation=citation,
+        source=source,
+        severity=severity,
+        nc_type=NoncomplianceType.INVALID_CHARACTER,
+        effective_date=effective_date,
+        new=new,
+        applies=applies,
+        check=check,
+    )
+
+
+def gn_ia5_encoding_lint(
+    *,
+    name: str,
+    label: str,
+    extractor: Callable[[Certificate], list[GeneralName]],
+    effective_date,
+    source: Source = Source.RFC5280,
+    citation: str = "RFC 5280 4.2.1.6 (GeneralName IA5String)",
+    new: bool = True,
+) -> FunctionLint:
+    """Factory: a GeneralName alternative must carry pure-IA5 octets."""
+
+    def applies(cert: Certificate) -> bool:
+        return bool(extractor(cert))
+
+    def check(cert: Certificate) -> tuple[bool, str]:
+        for gn in extractor(cert):
+            if not gn.decode_ok or any(ord(ch) > 0x7F for ch in gn.value):
+                return False, f"{label} contains non-IA5 octets: {gn.value!r}"
+        return True, ""
+
+    return register_lint(
+        name=name,
+        description=f"{label} must be IA5String (US-ASCII)",
+        citation=citation,
+        source=source,
+        severity=Severity.ERROR,
+        nc_type=NoncomplianceType.INVALID_ENCODING,
+        effective_date=effective_date,
+        new=new,
+        applies=applies,
+        check=check,
+    )

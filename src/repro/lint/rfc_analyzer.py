@@ -1,0 +1,255 @@
+"""Deterministic stand-in for the paper's RFCGPT extraction pipeline.
+
+The paper uses an LLM pretrained on ~2K RFCs to (Step I) filter
+field-related sections via keywords, (Step II) augment background
+knowledge, and (Step III) emit structured constraint rules.  This module
+reproduces the *pipeline shape* without a network LLM: a bundled
+library of the decisive spec excerpts, the same keyword filter, and a
+deterministic extraction step that maps matched sections to the frozen
+:data:`repro.lint.constraints.CONSTRAINT_RULES`.
+
+DESIGN.md records this substitution: the LLM only authored a static,
+manually reviewed ruleset, so a deterministic regeneration of the same
+records preserves the methodology end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .constraints import CONSTRAINT_RULES, ConstraintRule
+
+#: Keywords of the paper's footnote 2 (Section 3.1.1 Step I).
+EXTRACTION_KEYWORDS = [
+    "PrintableString",
+    "UTF8String",
+    "IA5String",
+    "TeletexString",
+    "BMPString",
+    "UniversalString",
+    "NumericString",
+    "VisibleString",
+    "encode",
+    "decode",
+    "character",
+    "string",
+    "internationalized",
+    "Unicode",
+    "ASCII",
+    "UTF8",
+    "NFC",
+    "IDN",
+    "IRI",
+]
+
+
+@dataclass(frozen=True)
+class SpecSection:
+    """One excerpt of a standards document."""
+
+    document: str
+    section: str
+    text: str
+
+    def matches(self, keywords: list[str]) -> bool:
+        lowered = self.text.lower()
+        return any(keyword.lower() in lowered for keyword in keywords)
+
+
+#: The decisive excerpts behind the 95 rules (abridged, line-based text
+#: exactly as Step II's background-context fields expect).
+SPEC_LIBRARY: list[SpecSection] = [
+    SpecSection(
+        "RFC 5280",
+        "4.1.2.4",
+        "Directory string types: CAs MUST use either PrintableString or "
+        "UTF8String when encoding attributes of type DirectoryString, "
+        "except for backward compatibility with established subjects. "
+        "TeletexString, BMPString and UniversalString SHOULD NOT be used "
+        "for new certificates.",
+    ),
+    SpecSection(
+        "RFC 5280",
+        "4.2.1.6",
+        "When the subjectAltName extension contains a domain name system "
+        "label, the domain name MUST be stored in the dNSName (an "
+        "IA5String). The name MUST be in the preferred name syntax, as "
+        "specified by Section 3.5 of RFC 1034. rfc822Name and "
+        "uniformResourceIdentifier are likewise encoded as IA5String "
+        "restricted to US-ASCII characters.",
+    ),
+    SpecSection(
+        "RFC 5280",
+        "4.2.1.4",
+        "DisplayText ::= CHOICE of ia5String, visibleString, bmpString, "
+        "utf8String with SIZE (1..200). Conforming CAs SHOULD use the "
+        "UTF8String encoding for explicitText and MUST NOT encode "
+        "explicitText as IA5String. CPSuri ::= IA5String.",
+    ),
+    SpecSection(
+        "RFC 5280",
+        "Appendix A",
+        "Upper bounds: ub-common-name 64, ub-organization-name 64, "
+        "ub-locality-name 128, ub-state-name 128, ub-serial-number 64. "
+        "X520countryName ::= PrintableString (SIZE (2)). dnQualifier and "
+        "serialNumber are PrintableString. emailAddress and "
+        "domainComponent are IA5String. Attribute values encoded as "
+        "UTF8String SHOULD be normalized according to Unicode "
+        "normalization form C (NFC).",
+    ),
+    SpecSection(
+        "RFC 6818",
+        "3",
+        "Update to RFC 5280 Section 4.2.1.4: explicitText SHOULD use the "
+        "UTF8String encoding and SHOULD NOT exceed 200 characters.",
+    ),
+    SpecSection(
+        "RFC 1034",
+        "3.5",
+        "Preferred name syntax: labels must start and end with a letter "
+        "or digit and have as interior characters only letters, digits "
+        "and hyphen. Labels must be 63 characters or less; the full name "
+        "is limited to 255 octets. Empty labels are not permitted.",
+    ),
+    SpecSection(
+        "RFC 5890",
+        "2.3.2.1",
+        "An A-label is the ASCII-compatible encoding (xn-- prefix plus "
+        "Punycode) of a valid U-label. An A-label that cannot be "
+        "converted back to Unicode, or whose conversion violates the "
+        "IDNA2008 constraints, is not a valid internationalized label. "
+        "LDH labels must not contain characters beyond letters, digits "
+        "and hyphen.",
+    ),
+    SpecSection(
+        "RFC 5891",
+        "4.4",
+        "Registration validity: the A-label produced by re-encoding the "
+        "decoded U-label must match the original A-label (round-trip "
+        "requirement); U-labels must be in Unicode NFC form.",
+    ),
+    SpecSection(
+        "RFC 5892",
+        "2",
+        "The derived property value of every code point in a U-label "
+        "must be PVALID, or CONTEXTJ/CONTEXTO with a satisfied rule. "
+        "DISALLOWED and UNASSIGNED code points (including uppercase "
+        "letters, symbols, bidirectional controls and zero-width "
+        "characters outside joining contexts) must not appear.",
+    ),
+    SpecSection(
+        "RFC 5893",
+        "2",
+        "The Bidi rule: in an RTL label only R, AL, AN, EN, ES, CS, ET, "
+        "ON, BN and NSM directions may appear; AN and EN must not be "
+        "mixed; the label must end with an R, AL, EN or AN character.",
+    ),
+    SpecSection(
+        "RFC 9598",
+        "3",
+        "SmtpUTF8Mailbox is a UTF8String; it MUST NOT be used when the "
+        "local-part is all ASCII, and the mailbox MUST be normalized per "
+        "NFC. rfc822Name is restricted to US-ASCII; internationalized "
+        "local parts require SmtpUTF8Mailbox and domain parts require "
+        "IDNA2008-compliant LDH labels.",
+    ),
+    SpecSection(
+        "CA/B BR",
+        "7.1.4.2",
+        "Subject attributes MUST NOT contain metadata-only or empty "
+        "values; if present, the common name MUST contain a single value "
+        "from the subjectAltName extension; attribute types must not "
+        "repeat; dNSName entries must be valid LDH domain names without "
+        "whitespace, ports or paths; wildcards must be whole left-most "
+        "labels; countryName must be an uppercase two-letter ISO 3166-1 "
+        "code. Use of the common name field is discouraged; URIs in the "
+        "subjectAltName of TLS certificates are not recommended.",
+    ),
+    SpecSection(
+        "ITU-T X.680",
+        "41.4",
+        "PrintableString character set: A-Z a-z 0-9 space and the "
+        "punctuation ' ( ) + , - . / : = ?. IA5String is the 128 "
+        "character IA5 (US-ASCII) set. BMPString uses two octets per "
+        "character (UCS-2); UniversalString uses four (UCS-4). Decoders "
+        "must reject content octets outside the declared character set.",
+    ),
+    SpecSection(
+        "Community",
+        "Zlint community lints",
+        "Attribute values should not carry leading or trailing "
+        "whitespace, DEL characters, U+FFFD replacement characters, or "
+        "mixed-script confusable text; these indicate CA software "
+        "defects or spoofing attempts with internationalized (Unicode) "
+        "strings.",
+    ),
+    SpecSection(
+        "Unicode",
+        "UTS #39 / TR #9",
+        "Mixed-script confusables, invisible (zero-width) characters and "
+        "bidirectional control characters enable visual spoofing of "
+        "internationalized identifiers and should be rejected in "
+        "identity fields. Noncharacters U+FDD0..U+FDEF and U+xxFFFE/F "
+        "are not valid in interchange.",
+    ),
+]
+
+#: Maps lint-source values to the documents of SPEC_LIBRARY.
+_SOURCE_TO_DOCUMENTS = {
+    "RFC 5280": ["RFC 5280"],
+    "RFC 6818": ["RFC 6818"],
+    "RFC 8399": ["RFC 9598"],
+    "RFC 9549": ["RFC 5891"],
+    "RFC 9598": ["RFC 9598"],
+    "RFC 1034": ["RFC 1034"],
+    "RFC 5890-5893 (IDNA2008)": ["RFC 5890", "RFC 5891", "RFC 5892", "RFC 5893"],
+    "ITU-T X.680": ["ITU-T X.680"],
+    "CA/B Forum Baseline Requirements": ["CA/B BR"],
+    "CA/B Forum EV Guidelines": ["CA/B BR"],
+    "Community": ["Community", "Unicode"],
+}
+
+
+#: Documents added as supplemental knowledge in Step II: the CA/B BRs
+#: are not in RFCGPT's pretraining data, so the paper injects their
+#: certificate-profile content wholesale, bypassing the keyword filter.
+SUPPLEMENTAL_DOCUMENTS = frozenset({"CA/B BR"})
+
+
+def filter_sections(
+    keywords: list[str] | None = None,
+    library: list[SpecSection] | None = None,
+    include_supplemental: bool = True,
+) -> list[SpecSection]:
+    """Step I + II: keyword-filter sections, then add supplemental docs."""
+    keywords = keywords if keywords is not None else EXTRACTION_KEYWORDS
+    library = library if library is not None else SPEC_LIBRARY
+    return [
+        section
+        for section in library
+        if section.matches(keywords)
+        or (include_supplemental and section.document in SUPPLEMENTAL_DOCUMENTS)
+    ]
+
+
+def sections_for_rule(rule: ConstraintRule) -> list[SpecSection]:
+    """The background sections a rule was extracted from."""
+    documents = _SOURCE_TO_DOCUMENTS.get(rule.source_document, [])
+    return [section for section in SPEC_LIBRARY if section.document in documents]
+
+
+def extract_constraint_rules(
+    keywords: list[str] | None = None,
+) -> list[ConstraintRule]:
+    """Step III: regenerate the frozen rules from the matched sections.
+
+    Only rules whose source sections survive the keyword filter are
+    emitted — with the paper's keyword list that is all 95 of them.
+    """
+    matched = {section.document for section in filter_sections(keywords)}
+    rules = []
+    for rule in CONSTRAINT_RULES:
+        documents = _SOURCE_TO_DOCUMENTS.get(rule.source_document, [])
+        if any(doc in matched for doc in documents):
+            rules.append(rule)
+    return rules

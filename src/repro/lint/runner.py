@@ -1,0 +1,121 @@
+"""Lint runner: apply the registry to certificates and aggregate reports."""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+
+from ..x509 import Certificate
+from .framework import (
+    Lint,
+    LintResult,
+    LintStatus,
+    NoncomplianceType,
+    REGISTRY,
+    Severity,
+)
+
+
+@dataclass
+class CertificateReport:
+    """All lint results for one certificate."""
+
+    results: list[LintResult] = field(default_factory=list)
+
+    @property
+    def findings(self) -> list[LintResult]:
+        return [r for r in self.results if r.is_finding]
+
+    @property
+    def errors(self) -> list[LintResult]:
+        return [r for r in self.results if r.status is LintStatus.ERROR]
+
+    @property
+    def warnings(self) -> list[LintResult]:
+        return [r for r in self.results if r.status is LintStatus.WARN]
+
+    @property
+    def suppressed_by_effective_date(self) -> list[LintResult]:
+        return [r for r in self.results if r.status is LintStatus.NOT_EFFECTIVE]
+
+    @property
+    def noncompliant(self) -> bool:
+        """Whether any effective lint produced a finding."""
+        return bool(self.findings)
+
+    @property
+    def noncompliant_ignoring_dates(self) -> bool:
+        """The paper's footnote-4 view: 249K grows to 1.8M without dates."""
+        return bool(self.findings) or bool(self.suppressed_by_effective_date)
+
+    def fired_lints(self) -> list[str]:
+        return [r.lint.name for r in self.findings]
+
+    def types(self) -> set[NoncomplianceType]:
+        return {r.lint.nc_type for r in self.findings}
+
+    def has_error_level(self) -> bool:
+        return bool(self.errors)
+
+    def has_warning_level(self) -> bool:
+        return bool(self.warnings)
+
+
+def run_lints(
+    cert: Certificate,
+    issued_at: _dt.datetime | None = None,
+    lints: list[Lint] | None = None,
+    respect_effective_dates: bool = True,
+) -> CertificateReport:
+    """Run every lint (or a subset) against one certificate."""
+    report = CertificateReport()
+    for lint in lints if lints is not None else REGISTRY.all():
+        result = lint.run(
+            cert,
+            issued_at=issued_at,
+            respect_effective_date=respect_effective_dates,
+        )
+        if result.status is not LintStatus.NA:
+            report.results.append(result)
+    return report
+
+
+@dataclass
+class CorpusSummary:
+    """Aggregate lint statistics over a corpus (feeds Tables 1/11)."""
+
+    total: int = 0
+    noncompliant: int = 0
+    noncompliant_ignoring_dates: int = 0
+    per_lint: dict[str, int] = field(default_factory=dict)
+    per_type: dict[NoncomplianceType, int] = field(default_factory=dict)
+    error_level: dict[NoncomplianceType, int] = field(default_factory=dict)
+    warn_level: dict[NoncomplianceType, int] = field(default_factory=dict)
+
+    def add(self, report: CertificateReport) -> None:
+        self.total += 1
+        if report.noncompliant:
+            self.noncompliant += 1
+        if report.noncompliant_ignoring_dates:
+            self.noncompliant_ignoring_dates += 1
+        for name in set(report.fired_lints()):
+            self.per_lint[name] = self.per_lint.get(name, 0) + 1
+        for nc_type in report.types():
+            self.per_type[nc_type] = self.per_type.get(nc_type, 0) + 1
+        error_types = {r.lint.nc_type for r in report.errors}
+        warn_types = {r.lint.nc_type for r in report.warnings}
+        for nc_type in error_types:
+            self.error_level[nc_type] = self.error_level.get(nc_type, 0) + 1
+        for nc_type in warn_types:
+            self.warn_level[nc_type] = self.warn_level.get(nc_type, 0) + 1
+
+    def top_lints(self, count: int = 25) -> list[tuple[str, int]]:
+        return sorted(self.per_lint.items(), key=lambda kv: (-kv[1], kv[0]))[:count]
+
+
+def summarize(reports: list[CertificateReport]) -> CorpusSummary:
+    """Aggregate many per-certificate reports into one summary."""
+    summary = CorpusSummary()
+    for report in reports:
+        summary.add(report)
+    return summary

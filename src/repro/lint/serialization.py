@@ -1,0 +1,79 @@
+"""JSON-friendly serialization of lint reports (the released-tool
+output format, mirroring Zlint's ``zlint -pretty`` result objects)."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..x509 import Certificate
+from .framework import LintResult, LintStatus
+from .runner import CertificateReport, CorpusSummary
+
+
+def result_to_dict(result: LintResult) -> dict[str, Any]:
+    """One lint result as a JSON-serializable dict."""
+    meta = result.lint
+    return {
+        "lint": meta.name,
+        "status": result.status.value,
+        "details": result.details,
+        "severity": meta.severity.value,
+        "type": meta.nc_type.value,
+        "new": meta.new,
+        "source": meta.source.value,
+        "citation": meta.citation,
+        "effective_date": meta.effective_date.date().isoformat(),
+    }
+
+
+def report_to_dict(
+    report: CertificateReport,
+    cert: Certificate | None = None,
+    include_passes: bool = False,
+) -> dict[str, Any]:
+    """One certificate's results as a JSON-serializable dict."""
+    payload: dict[str, Any] = {
+        "noncompliant": report.noncompliant,
+        "noncompliant_ignoring_effective_dates": report.noncompliant_ignoring_dates,
+        "findings": [result_to_dict(r) for r in report.findings],
+        "suppressed_by_effective_date": [
+            result_to_dict(r) for r in report.suppressed_by_effective_date
+        ],
+    }
+    if include_passes:
+        payload["passes"] = [
+            r.lint.name for r in report.results if r.status is LintStatus.PASS
+        ]
+    if cert is not None:
+        payload["certificate"] = {
+            "subject": cert.subject.rfc4514_string(),
+            "issuer": cert.issuer.rfc4514_string(),
+            "serial": cert.serial,
+            "not_before": cert.not_before.isoformat(),
+            "not_after": cert.not_after.isoformat(),
+            "fingerprint_sha256": cert.fingerprint(),
+        }
+    return payload
+
+
+def report_to_json(
+    report: CertificateReport,
+    cert: Certificate | None = None,
+    indent: int | None = 2,
+) -> str:
+    """Serialize a certificate report (optionally with cert info) to JSON."""
+    return json.dumps(
+        report_to_dict(report, cert), indent=indent, ensure_ascii=False, sort_keys=True
+    )
+
+
+def summary_to_dict(summary: CorpusSummary) -> dict[str, Any]:
+    """A corpus summary as a JSON-serializable dict."""
+    return {
+        "total": summary.total,
+        "noncompliant": summary.noncompliant,
+        "noncompliant_ignoring_effective_dates": summary.noncompliant_ignoring_dates,
+        "per_lint": dict(sorted(summary.per_lint.items())),
+        "per_type": {t.value: n for t, n in sorted(summary.per_type.items(), key=lambda kv: kv[0].value)},
+    }

@@ -1,0 +1,161 @@
+"""The tested TLS-library APIs (paper Tables 12 and 13).
+
+A data registry of the exact functions the paper instruments per
+library, plus a derived field-support matrix whose '-' cells must agree
+with the executable profiles' ``supports_*`` flags — keeping the
+documentation and the behaviour models consistent by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LibraryAPIs:
+    """Tables 12/13 rows for one library."""
+
+    library: str
+    version: str
+    load: str
+    subject: tuple[str, ...]
+    issuer: tuple[str, ...]
+    san: str | None = None
+    ian: str | None = None
+    aia: str | None = None
+    crldp: str | None = None
+    sia: str | None = None
+
+    def supports(self, field_name: str) -> bool:
+        return getattr(self, field_name) is not None
+
+
+#: Table 12 + Table 13, abridged to one representative API per cell.
+API_REGISTRY: list[LibraryAPIs] = [
+    LibraryAPIs(
+        "OpenSSL", "3.3.0",
+        load="PEM_read_bio_X509()",
+        subject=("X509_NAME_oneline()", "X509_NAME_print()", "X509_NAME_print_ex()"),
+        issuer=("X509_NAME_oneline()", "X509_NAME_print()", "X509_NAME_print_ex()"),
+    ),
+    LibraryAPIs(
+        "GnuTLS", "3.7.11",
+        load="gnutls_x509_crt_import()",
+        subject=("gnutls_x509_crt_get_subject_dn()", "gnutls_x509_crt_get_subject_dn3()"),
+        issuer=("gnutls_x509_crt_get_issuer_dn()", "gnutls_x509_crt_get_issuer_dn3()"),
+        san="gnutls_x509_crt_get_subject_alt_name()",
+        ian="gnutls_x509_crt_get_issuer_alt_name()",
+        crldp="gnutls_x509_crt_get_crl_dist_points()",
+    ),
+    LibraryAPIs(
+        "PyOpenSSL", "24.2.1",
+        load="load_certificate()",
+        subject=("get_subject()",),
+        issuer=("get_issuer()",),
+        san="str(get_extension())",
+        ian="str(get_extension())",
+        aia="str(get_extension())",
+        crldp="str(get_extension())",
+    ),
+    LibraryAPIs(
+        "Cryptography", "42.0.7",
+        load="load_der_x509_certificate()",
+        subject=("subject.rfc4514_string()",),
+        issuer=("issuer.rfc4514_string()",),
+        san="get_extension_for_oid().value",
+        ian="get_extension_for_oid().value",
+        aia="get_extension_for_oid().value",
+        crldp="get_extension_for_oid().value",
+        sia="get_extension_for_oid().value",
+    ),
+    LibraryAPIs(
+        "Golang Crypto", "1.23.0",
+        load="ParseCertificate()",
+        subject=("Subject.ShortName",),
+        issuer=("Issuer.ShortName",),
+        san="SubjectAlternativeName",
+        crldp="CRLDistributionPoints",
+    ),
+    LibraryAPIs(
+        "Java.security.cert", "21.0",
+        load='CertificateFactory.getInstance("X.509").generateCertificate()',
+        subject=(
+            "getSubjectDN().toString()",
+            "getSubjectX500Principal().getName()",
+        ),
+        issuer=(
+            "getIssuerDN().toString()",
+            "getIssuerX500Principal().getName()",
+        ),
+        san="getSubjectAlternativeNames()",
+        ian="getIssuerAlternativeNames()",
+    ),
+    LibraryAPIs(
+        "BouncyCastle", "1.78.1",
+        load="X509CertificateHolder()",
+        subject=("getSubject().toString()",),
+        issuer=("getIssuer().toString()",),
+    ),
+    LibraryAPIs(
+        "Forge", "1.3.1",
+        load="X509Certificate()",
+        subject=("subject.getField()",),
+        issuer=("issuer.getField()",),
+        san="getExtension()",
+        ian="getExtension()",
+    ),
+    LibraryAPIs(
+        "Node.js Crypto", "22.4.1",
+        load="certificateFromPem()",
+        subject=("subject",),
+        issuer=("issuer",),
+        san="subjectAltName",
+        aia="infoAccess",
+    ),
+]
+
+APIS_BY_LIBRARY = {apis.library: apis for apis in API_REGISTRY}
+
+
+def support_matrix() -> dict[str, dict[str, bool]]:
+    """Table 13 as a boolean matrix: library -> field -> supported."""
+    return {
+        apis.library: {
+            field_name: apis.supports(field_name)
+            for field_name in ("san", "ian", "aia", "crldp", "sia")
+        }
+        for apis in API_REGISTRY
+    }
+
+
+def check_profile_consistency() -> list[str]:
+    """Cross-check the API registry against the executable profiles.
+
+    Returns a list of mismatch descriptions (empty = consistent).
+    """
+    from .profiles import PROFILES_BY_NAME
+
+    mismatches: list[str] = []
+    flag_names = {
+        "san": "supports_san",
+        "ian": "supports_ian",
+        "aia": "supports_aia",
+        "crldp": "supports_crldp",
+        "sia": "supports_sia",
+    }
+    for apis in API_REGISTRY:
+        profile = PROFILES_BY_NAME.get(apis.library)
+        if profile is None:
+            mismatches.append(f"no profile named {apis.library!r}")
+            continue
+        for field_name, flag in flag_names.items():
+            if apis.supports(field_name) != getattr(profile, flag):
+                mismatches.append(
+                    f"{apis.library}: API registry says {field_name}="
+                    f"{apis.supports(field_name)}, profile says {getattr(profile, flag)}"
+                )
+        if apis.version != profile.version:
+            mismatches.append(
+                f"{apis.library}: version {apis.version} != profile {profile.version}"
+            )
+    return mismatches

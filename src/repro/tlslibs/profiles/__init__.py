@@ -1,0 +1,40 @@
+"""The nine TLS-library behaviour models (Tables 4, 5, 12, 13)."""
+
+from .openssl import PROFILE as OPENSSL
+from .gnutls import PROFILE as GNUTLS
+from .pyopenssl import PROFILE as PYOPENSSL
+from .cryptography_lib import PROFILE as CRYPTOGRAPHY
+from .go_crypto import PROFILE as GO_CRYPTO
+from .java_cert import PROFILE as JAVA_SECURITY_CERT
+from .bouncycastle import PROFILE as BOUNCYCASTLE
+from .nodejs_crypto import PROFILE as NODEJS_CRYPTO
+from .forge import PROFILE as FORGE
+
+#: All nine profiles in the paper's column order (Table 4).
+ALL_PROFILES = [
+    OPENSSL,
+    GNUTLS,
+    PYOPENSSL,
+    CRYPTOGRAPHY,
+    GO_CRYPTO,
+    JAVA_SECURITY_CERT,
+    BOUNCYCASTLE,
+    NODEJS_CRYPTO,
+    FORGE,
+]
+
+PROFILES_BY_NAME = {profile.name: profile for profile in ALL_PROFILES}
+
+__all__ = [
+    "ALL_PROFILES",
+    "PROFILES_BY_NAME",
+    "OPENSSL",
+    "GNUTLS",
+    "PYOPENSSL",
+    "CRYPTOGRAPHY",
+    "GO_CRYPTO",
+    "JAVA_SECURITY_CERT",
+    "BOUNCYCASTLE",
+    "NODEJS_CRYPTO",
+    "FORGE",
+]

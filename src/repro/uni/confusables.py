@@ -1,0 +1,114 @@
+"""Homograph/confusable detection (UTS #39 skeleton, abridged).
+
+Implements the skeleton transform the paper's browser models and the
+Table 3 variant detector need: a mapping from visually confusable
+characters (Cyrillic/Greek homographs, fullwidth forms, look-alike
+punctuation) to a Latin prototype, plus NFKD-based fallback so that
+composed/fullwidth forms fold automatically.
+"""
+
+from __future__ import annotations
+
+import unicodedata
+
+#: Visually confusable -> Latin prototype.  Abridged from UTS #39
+#: confusablesSummary to the scripts the paper's examples exercise.
+CONFUSABLE_MAP: dict[str, str] = {
+    # Cyrillic lookalikes.
+    "а": "a", "е": "e", "о": "o", "р": "p", "с": "c", "х": "x", "у": "y",
+    "і": "i", "ј": "j", "ѕ": "s", "һ": "h", "ԁ": "d", "ԛ": "q", "ԝ": "w",
+    "в": "b", "м": "m", "н": "h", "т": "t", "к": "k", "г": "r",
+    "А": "A", "В": "B", "Е": "E", "К": "K", "М": "M", "Н": "H", "О": "O",
+    "Р": "P", "С": "C", "Т": "T", "Х": "X", "У": "Y", "Ѕ": "S", "І": "I",
+    "Ј": "J", "Ԛ": "Q", "Ԝ": "W",
+    # Greek lookalikes.
+    "α": "a", "ο": "o", "ν": "v", "ρ": "p", "τ": "t", "υ": "u", "κ": "k",
+    "ι": "i", "η": "n", "Α": "A", "Β": "B", "Ε": "E", "Ζ": "Z", "Η": "H",
+    "Ι": "I", "Κ": "K", "Μ": "M", "Ν": "N", "Ο": "O", "Ρ": "P", "Τ": "T",
+    "Υ": "Y", "Χ": "X",
+    # Punctuation and symbol lookalikes.
+    "‚": ",", "٫": ",", "；": ";",
+    "：": ":", "։": ":", "׃": ":",
+    "‐": "-", "‑": "-", "‒": "-", "–": "-", "—": "-", "−": "-",
+    "ー": "-", "﹘": "-",
+    "․": ".", "。": ".", "٠": ".",
+    "′": "'", "‵": "'", "ʹ": "'", "ʻ": "'", "’": "'",
+    "″": '"', "“": '"', "”": '"',
+    "⁄": "/", "∕": "/",
+    "﹨": "\\", "∖": "\\",
+    # Paper Table 3 / F.1 examples.
+    "™": "TM", "®": "R", "©": "C",
+    "ℓ": "l", "ⅼ": "l", "Ⅰ": "I", "ⅰ": "i",
+    "⍺": "a", "ꓐ": "B", "ꓑ": "P", "ꓒ": "p",
+    # Greek question mark (U+037E) renders like a semicolon — the paper's
+    # G1.2 substitution example.
+    ";": ";",
+}
+
+#: Invisible characters that survive rendering without a visual trace.
+INVISIBLE_CHARACTERS = frozenset(
+    {
+        0x00AD,  # SOFT HYPHEN
+        0x034F,  # COMBINING GRAPHEME JOINER
+        0x115F, 0x1160,  # HANGUL FILLERS
+        0x17B4, 0x17B5,  # KHMER INHERENT VOWELS
+        0x180E,  # MONGOLIAN VOWEL SEPARATOR
+        *range(0x200B, 0x2010),  # ZWSP, ZWNJ, ZWJ, LRM, RLM
+        *range(0x202A, 0x202F),  # bidi embedding controls incl. RLO/PDF
+        *range(0x2060, 0x2065),  # WORD JOINER, invisible operators
+        *range(0x2066, 0x206A),  # bidi isolates
+        *range(0x206A, 0x2070),  # deprecated format controls
+        0xFEFF,  # ZERO WIDTH NO-BREAK SPACE / BOM
+        0xFFA0,  # HALFWIDTH HANGUL FILLER
+    }
+)
+
+#: Bidirectional control characters usable for display-order spoofing.
+BIDI_CONTROLS = frozenset(
+    {0x061C, 0x200E, 0x200F, *range(0x202A, 0x202F), *range(0x2066, 0x206A)}
+)
+
+
+def has_invisible(text: str) -> bool:
+    """Whether ``text`` contains any invisible/zero-width character."""
+    return any(ord(ch) in INVISIBLE_CHARACTERS for ch in text)
+
+
+def has_bidi_control(text: str) -> bool:
+    """Whether ``text`` contains bidirectional control characters."""
+    return any(ord(ch) in BIDI_CONTROLS for ch in text)
+
+
+def skeleton(text: str) -> str:
+    """Map ``text`` to its confusable skeleton.
+
+    Strips invisible characters, folds compatibility forms (NFKD),
+    applies the confusable map, and lowercases — two strings with equal
+    skeletons are considered visually confusable.
+    """
+    stripped = "".join(ch for ch in text if ord(ch) not in INVISIBLE_CHARACTERS)
+    folded = unicodedata.normalize("NFKD", stripped)
+    # Remove combining marks produced by decomposition (é -> e).
+    base = "".join(ch for ch in folded if not unicodedata.combining(ch))
+    mapped = "".join(CONFUSABLE_MAP.get(ch, ch) for ch in base)
+    return mapped.casefold()
+
+
+def is_confusable(a: str, b: str) -> bool:
+    """Whether two distinct strings are visually confusable."""
+    return a != b and skeleton(a) == skeleton(b)
+
+
+def mixed_script_confusable(text: str) -> bool:
+    """Heuristic: mixed Latin plus confusable Cyrillic/Greek letters.
+
+    Browsers use script-mixing checks to catch homograph labels; this is
+    the check the paper finds browsers *fail* to apply inside
+    certificate-viewer components.
+    """
+    has_latin = any("LATIN" in unicodedata.name(ch, "") for ch in text if ch.isalpha())
+    has_confusable_foreign = any(
+        ch in CONFUSABLE_MAP and "LATIN" not in unicodedata.name(ch, "")
+        for ch in text
+    )
+    return has_latin and has_confusable_foreign

@@ -1,0 +1,18 @@
+"""Exception hierarchy for the Unicode/IDN substrate."""
+
+
+class UnicodeSubstrateError(Exception):
+    """Base class for all errors in :mod:`repro.uni`."""
+
+
+class PunycodeError(UnicodeSubstrateError):
+    """A string cannot be Punycode-encoded or -decoded (RFC 3492)."""
+
+
+class IDNAError(UnicodeSubstrateError):
+    """A label or domain name violates IDNA2008 (RFC 5890-5892)."""
+
+    def __init__(self, message: str, label: str = ""):
+        super().__init__(message)
+        #: The offending label, when known.
+        self.label = label

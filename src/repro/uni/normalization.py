@@ -1,0 +1,77 @@
+"""Unicode normalization helpers (UAX #15) used by the T2 lints.
+
+RFC 5280 (via RFC 4518's string preparation and the attribute
+normalization note the paper quotes) expects UTF8String values in NFC;
+RFC 9549/8399 additionally require IDN U-labels to be NFC after
+Punycode decoding.
+"""
+
+from __future__ import annotations
+
+import unicodedata
+
+
+def nfc(text: str) -> str:
+    """Return the canonical composition (NFC) of ``text``."""
+    return unicodedata.normalize("NFC", text)
+
+
+def is_nfc(text: str) -> bool:
+    """Whether ``text`` is already in NFC form."""
+    return unicodedata.is_normalized("NFC", text)
+
+
+def nfc_violations(text: str) -> list[str]:
+    """Describe where ``text`` deviates from NFC (for lint messages)."""
+    if is_nfc(text):
+        return []
+    normalized = nfc(text)
+    problems = []
+    for i, (a, b) in enumerate(zip(text, normalized)):
+        if a != b:
+            problems.append(
+                f"position {i}: U+{ord(a):04X} normalizes to U+{ord(b):04X}"
+            )
+            break
+    if not problems:
+        problems.append(
+            f"length changes under NFC ({len(text)} -> {len(normalized)})"
+        )
+    return problems
+
+
+def case_fold_equal(a: str, b: str) -> bool:
+    """Case-insensitive comparison via full Unicode case folding."""
+    return a.casefold() == b.casefold()
+
+
+#: Whitespace code points beyond U+0020 that the paper's Table 3 flags.
+ALTERNATE_WHITESPACE = frozenset(
+    {
+        0x00A0,  # NO-BREAK SPACE
+        0x1680,  # OGHAM SPACE MARK
+        *range(0x2000, 0x200B),  # EN QUAD .. ZERO WIDTH SPACE
+        0x202F,  # NARROW NO-BREAK SPACE
+        0x205F,  # MEDIUM MATHEMATICAL SPACE
+        0x3000,  # IDEOGRAPHIC SPACE
+    }
+)
+
+
+def has_alternate_whitespace(text: str) -> bool:
+    """Whether ``text`` uses any non-U+0020 whitespace character."""
+    return any(ord(ch) in ALTERNATE_WHITESPACE for ch in text)
+
+
+def canonical_whitespace(text: str) -> str:
+    """Collapse every whitespace variant to a single U+0020."""
+    out = []
+    for ch in text:
+        if ord(ch) in ALTERNATE_WHITESPACE or ch in "\t\n\r\x0b\x0c ":
+            out.append(" ")
+        else:
+            out.append(ch)
+    collapsed = "".join(out)
+    while "  " in collapsed:
+        collapsed = collapsed.replace("  ", " ")
+    return collapsed.strip()

@@ -1,0 +1,107 @@
+"""UTS #46-style preprocessing (compatibility mapping before IDNA).
+
+Browsers and registrars do not feed raw user input to IDNA2008: they
+first apply the Unicode IDNA Compatibility Processing — lowercase
+mapping, NFKC compatibility folding (fullwidth forms, ligatures),
+removal of ignorable code points — and only then validate.  This module
+implements the mapping step the paper's browser/monitor behaviours sit
+on top of.
+"""
+
+from __future__ import annotations
+
+import unicodedata
+
+from .errors import IDNAError
+from .idna import ulabel_violations
+
+#: Code points UTS #46 maps to nothing (deleted before validation).
+_IGNORED = frozenset(
+    {
+        0x00AD,  # SOFT HYPHEN
+        0x034F,  # COMBINING GRAPHEME JOINER
+        0x180B, 0x180C, 0x180D,  # Mongolian variation selectors
+        0x200B,  # ZERO WIDTH SPACE
+        0x2060,  # WORD JOINER
+        0xFEFF,  # ZWNBSP
+        *range(0xFE00, 0xFE10),  # variation selectors
+    }
+)
+
+#: Code points that are *disallowed* even after mapping (never valid in
+#: a domain): a practical subset mirroring IdnaMappingTable DISALLOWED.
+_DISALLOWED_AFTER_MAPPING = frozenset(
+    {
+        0x0020,  # SPACE
+        0x2028, 0x2029,  # line/paragraph separators
+        *range(0x0000, 0x0020),
+        0x007F,
+    }
+)
+
+
+def uts46_remap(text: str, transitional: bool = False) -> str:
+    """Apply the UTS #46 mapping step to a whole domain string.
+
+    * deletes ignored code points,
+    * lowercases and NFKC-folds everything else,
+    * maps ideographic full stops to '.',
+    * in *transitional* mode additionally maps the deviation characters
+      (ß→ss, ς→σ, ZWJ/ZWNJ→deleted) the way IDNA2003 did.
+    """
+    out: list[str] = []
+    for ch in text:
+        cp = ord(ch)
+        if cp in _IGNORED:
+            continue
+        if ch in "。．｡":  # ideographic/fullwidth/halfwidth full stops
+            out.append(".")
+            continue
+        if transitional:
+            if ch == "ß":
+                out.append("ss")
+                continue
+            if ch == "ς":
+                out.append("σ")
+                continue
+            if cp in (0x200C, 0x200D):  # ZWNJ / ZWJ deleted
+                continue
+        out.append(ch)
+    # lower() (not casefold()) keeps the deviation characters ß and ς
+    # intact in nontransitional processing, per UTS #46.
+    mapped = unicodedata.normalize("NFKC", "".join(out)).lower()
+    return unicodedata.normalize("NFKC", mapped)
+
+
+def uts46_violations(domain: str) -> list[str]:
+    """Problems that survive the mapping step (per-label IDNA checks)."""
+    mapped = uts46_remap(domain)
+    problems: list[str] = []
+    for ch in mapped:
+        if ord(ch) in _DISALLOWED_AFTER_MAPPING:
+            problems.append(f"disallowed code point U+{ord(ch):04X} after mapping")
+    for label in mapped.split("."):
+        if not label:
+            continue
+        if all(ord(ch) < 0x80 for ch in label):
+            continue  # plain LDH labels validated elsewhere
+        for problem in ulabel_violations(label):
+            problems.append(f"label {label!r}: {problem}")
+    return problems
+
+
+def to_ascii(domain: str, transitional: bool = False) -> str:
+    """UTS #46 ToASCII: map, validate, and Punycode-encode each label."""
+    from .idna import ulabel_to_alabel
+
+    mapped = uts46_remap(domain, transitional=transitional)
+    problems = uts46_violations(domain)
+    if problems:
+        raise IDNAError(f"UTS46 processing failed: {problems[0]}")
+    labels = []
+    for label in mapped.split("."):
+        if label and any(ord(ch) >= 0x80 for ch in label):
+            labels.append(ulabel_to_alabel(label, validate=False))
+        else:
+            labels.append(label)
+    return ".".join(labels)

@@ -1,0 +1,141 @@
+"""Subject-value variant strategies (paper Table 3).
+
+CAs accept Subject strings that are identity-equivalent but textually
+different, enabling detection evasion.  This module both *classifies* a
+pair of strings into the paper's six strategies and *generates* variants
+of a given string for the traffic-obfuscation experiments.
+"""
+
+from __future__ import annotations
+
+import enum
+import unicodedata
+
+from .confusables import CONFUSABLE_MAP, INVISIBLE_CHARACTERS, skeleton
+from .normalization import canonical_whitespace, has_alternate_whitespace
+
+
+class VariantStrategy(enum.Enum):
+    """The six variant strategies of Table 3."""
+
+    CASE_CONVERSION = "Character case conversion"
+    ABBREVIATION = "Abbreviation variations"
+    NON_PRINTABLE_ADDITION = "Addition of non-printable characters"
+    WHITESPACE_VARIATION = "Use of different whitespace characters"
+    RESEMBLING_SUBSTITUTION = "Substitution of resembling characters"
+    ILLEGAL_REPLACEMENT = "Replacement of illegal characters"
+
+
+#: Corporate-suffix equivalence classes used by the abbreviation detector.
+_ABBREVIATION_CLASSES: list[frozenset[str]] = [
+    frozenset({"ltd", "ltd.", "limited", "ooo", "ооо", "000"}),
+    frozenset({"s.r.o.", "sro", "a.s.", "as", "s.a.", "sa", "s.a", "sp. z o.o.", "sp z oo"}),
+    frozenset({"gmbh", "gesellschaft mit beschränkter haftung"}),
+    frozenset({"inc", "inc.", "incorporated", "corp", "corp.", "corporation"}),
+    frozenset({"co", "co.", "company"}),
+    frozenset({"llc", "l.l.c."}),
+]
+
+_SUFFIX_TOKENS = frozenset(token for cls in _ABBREVIATION_CLASSES for token in cls)
+
+
+def _printable_core(text: str) -> str:
+    """Drop control/format/invisible characters entirely."""
+    return "".join(
+        ch
+        for ch in text
+        if ord(ch) not in INVISIBLE_CHARACTERS
+        and not unicodedata.category(ch).startswith("C")
+    )
+
+
+#: Decoration symbols whose presence/order does not change the perceived
+#: identity (the paper's "Vegas.XXX®™" vs "Vegas.XXX™®" example).
+_DECORATION_MARKS = frozenset("™®©")
+
+
+def _decoration_free_skeleton(text: str) -> str:
+    stripped = "".join(ch for ch in text if ch not in _DECORATION_MARKS)
+    return skeleton(canonical_whitespace(stripped))
+
+
+def _abbrev_normalize(text: str) -> str:
+    tokens = [t for t in canonical_whitespace(text).casefold().replace(",", " ").split() if t]
+    kept = [t for t in tokens if t not in _SUFFIX_TOKENS]
+    return " ".join(kept)
+
+
+def classify_variant_pair(a: str, b: str) -> VariantStrategy | None:
+    """Classify how two Subject values relate, per Table 3.
+
+    Returns ``None`` when the strings are identical or unrelated.
+    Strategies are tested from the most specific to the most general.
+    """
+    if a == b:
+        return None
+    for damaged, intact in ((a, b), (b, a)):
+        if "�" in damaged and "�" not in intact:
+            stripped = damaged.replace("�", "")
+            if all(ch in intact for ch in stripped if ch.isalnum()):
+                return VariantStrategy.ILLEGAL_REPLACEMENT
+    core_a, core_b = _printable_core(a), _printable_core(b)
+    if core_a != a or core_b != b:
+        if canonical_whitespace(core_a).casefold() == canonical_whitespace(core_b).casefold():
+            return VariantStrategy.NON_PRINTABLE_ADDITION
+    if has_alternate_whitespace(a) or has_alternate_whitespace(b):
+        if canonical_whitespace(a).casefold() == canonical_whitespace(b).casefold():
+            return VariantStrategy.WHITESPACE_VARIATION
+    if a.casefold() == b.casefold():
+        return VariantStrategy.CASE_CONVERSION
+    if canonical_whitespace(a).casefold() == canonical_whitespace(b).casefold():
+        return VariantStrategy.WHITESPACE_VARIATION
+    if skeleton(a) == skeleton(b):
+        return VariantStrategy.RESEMBLING_SUBSTITUTION
+    if _abbrev_normalize(a) and _abbrev_normalize(a) == _abbrev_normalize(b):
+        return VariantStrategy.ABBREVIATION
+    if _decoration_free_skeleton(a) == _decoration_free_skeleton(b):
+        return VariantStrategy.RESEMBLING_SUBSTITUTION
+    return None
+
+
+def are_identity_equivalent(a: str, b: str) -> bool:
+    """Whether two Subject values plausibly denote the same entity."""
+    return a == b or classify_variant_pair(a, b) is not None
+
+
+# ---------------------------------------------------------------------------
+# Variant generation (used by the Section 6.2 obfuscation experiments)
+# ---------------------------------------------------------------------------
+
+_REVERSE_CONFUSABLES: dict[str, str] = {}
+for _src, _dst in CONFUSABLE_MAP.items():
+    if len(_dst) == 1 and _dst.isalpha() and _dst.islower() and _dst not in _REVERSE_CONFUSABLES:
+        _REVERSE_CONFUSABLES[_dst] = _src
+
+
+def generate_variants(subject: str) -> dict[VariantStrategy, str]:
+    """Produce one variant of ``subject`` per applicable strategy."""
+    variants: dict[VariantStrategy, str] = {}
+    swapped = subject.swapcase()
+    if swapped != subject:
+        variants[VariantStrategy.CASE_CONVERSION] = swapped
+    variants[VariantStrategy.NON_PRINTABLE_ADDITION] = subject + "\u200b"
+    if " " in subject:
+        variants[VariantStrategy.WHITESPACE_VARIATION] = subject.replace(" ", "\u00a0", 1)
+    for ch in subject:
+        if ch in _REVERSE_CONFUSABLES:
+            variants[VariantStrategy.RESEMBLING_SUBSTITUTION] = subject.replace(
+                ch, _REVERSE_CONFUSABLES[ch], 1
+            )
+            break
+    lowered = subject.casefold()
+    for cls in _ABBREVIATION_CLASSES:
+        for token in cls:
+            if lowered.endswith(token):
+                replacement = next(iter(cls - {token}), None)
+                if replacement:
+                    variants[VariantStrategy.ABBREVIATION] = (
+                        subject[: len(subject) - len(token)] + replacement
+                    )
+                break
+    return variants

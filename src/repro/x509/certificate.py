@@ -1,0 +1,284 @@
+"""The Certificate model: TBSCertificate codec plus field accessors."""
+
+from __future__ import annotations
+
+import datetime as _dt
+import hashlib
+from dataclasses import dataclass, field
+
+from ..asn1 import (
+    DERDecodeError,
+    Element,
+    ObjectIdentifier,
+    Tag,
+    TagClass,
+    decode_bit_string,
+    decode_integer,
+    decode_time,
+    encode_bit_string,
+    encode_integer,
+    encode_sequence,
+    encode_time,
+    explicit,
+    parse as parse_der,
+)
+from ..asn1.oid import (
+    OID_AD_CA_ISSUERS,
+    OID_EXT_AIA,
+    OID_EXT_BASIC_CONSTRAINTS,
+    OID_EXT_CERTIFICATE_POLICIES,
+    OID_EXT_CRL_DISTRIBUTION_POINTS,
+    OID_EXT_CT_POISON,
+    OID_EXT_IAN,
+    OID_EXT_SAN,
+    OID_EXT_SIA,
+    OID_COMMON_NAME,
+)
+from .extensions import (
+    CRLDistributionPoints,
+    Extension,
+    GeneralNames,
+    InfoAccess,
+    ParsedPolicies,
+    parse_basic_constraints,
+)
+from .general_name import GeneralNameKind
+from .keys import SimPublicKey, signature_algorithm_element
+from .name import Name
+
+
+@dataclass
+class Certificate:
+    """A parsed (or built) X.509 v3 certificate."""
+
+    serial: int
+    issuer: Name
+    subject: Name
+    not_before: _dt.datetime
+    not_after: _dt.datetime
+    extensions: list[Extension] = field(default_factory=list)
+    public_key: SimPublicKey | None = None
+    version: int = 2  # v3
+    tbs_der: bytes = b""
+    signature: bytes = b""
+    raw: bytes = b""
+
+    # ------------------------------------------------------------------
+    # Codec
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_der(cls, data: bytes, strict: bool = False) -> "Certificate":
+        """Parse a DER certificate.
+
+        ``strict=False`` (the default) mirrors tolerant real-world
+        parsers: malformed string contents are preserved rather than
+        rejected, so the linter can inspect them.
+        """
+        root = parse_der(data, strict=strict)
+        if len(root.children) != 3:
+            raise DERDecodeError("Certificate needs tbs/alg/signature", root.offset)
+        tbs = root.child(0)
+        signature_bits, _unused = decode_bit_string(root.child(2))
+
+        index = 0
+        version = 0
+        first = tbs.child(0)
+        if first.tag.cls is TagClass.CONTEXT and first.tag.number == 0:
+            version = decode_integer(first.child(0), strict=False)
+            index = 1
+        serial = decode_integer(tbs.child(index), strict=False)
+        # child(index+1) is the inner signature AlgorithmIdentifier.
+        issuer = Name.parse(tbs.child(index + 2), strict=False)
+        validity = tbs.child(index + 3)
+        not_before = decode_time(validity.child(0))
+        not_after = decode_time(validity.child(1))
+        subject = Name.parse(tbs.child(index + 4), strict=False)
+        public_key = None
+        try:
+            public_key = SimPublicKey.from_spki(tbs.child(index + 5))
+        except Exception:
+            pass  # Foreign/unsupported key types stay opaque.
+        extensions: list[Extension] = []
+        for child in tbs.children[index + 6 :]:
+            if child.tag.cls is TagClass.CONTEXT and child.tag.number == 3:
+                for ext_el in child.child(0).children:
+                    extensions.append(Extension.parse(ext_el))
+        return cls(
+            serial=serial,
+            issuer=issuer,
+            subject=subject,
+            not_before=not_before,
+            not_after=not_after,
+            extensions=extensions,
+            public_key=public_key,
+            version=version,
+            tbs_der=tbs.encode(),
+            signature=signature_bits,
+            raw=bytes(data),
+        )
+
+    def build_tbs(self) -> Element:
+        """Re-encode the TBSCertificate from the model fields."""
+        children: list[Element] = [
+            explicit(0, encode_integer(self.version)),
+            encode_integer(self.serial),
+            signature_algorithm_element(),
+            self.issuer.encode(),
+            encode_sequence(encode_time(self.not_before), encode_time(self.not_after)),
+            self.subject.encode(),
+        ]
+        if self.public_key is not None:
+            children.append(self.public_key.to_spki())
+        else:
+            children.append(SimPublicKey(n=3, e=3).to_spki())
+        if self.extensions:
+            children.append(
+                explicit(3, encode_sequence(*[ext.encode() for ext in self.extensions]))
+            )
+        return encode_sequence(*children)
+
+    def to_der(self) -> bytes:
+        """Serialize; uses stored bytes when the cert came off the wire."""
+        if self.raw:
+            return self.raw
+        tbs = self.build_tbs()
+        return encode_sequence(
+            tbs,
+            signature_algorithm_element(),
+            encode_bit_string(self.signature),
+        ).encode()
+
+    # ------------------------------------------------------------------
+    # Extension accessors
+    # ------------------------------------------------------------------
+
+    def get_extension(self, oid: ObjectIdentifier) -> Extension | None:
+        for ext in self.extensions:
+            if ext.oid == oid:
+                return ext
+        return None
+
+    def get_extensions(self, oid: ObjectIdentifier) -> list[Extension]:
+        return [ext for ext in self.extensions if ext.oid == oid]
+
+    @property
+    def san(self) -> GeneralNames | None:
+        ext = self.get_extension(OID_EXT_SAN)
+        if ext is None:
+            return None
+        try:
+            return GeneralNames.parse(ext.value_der, strict=False)
+        except Exception:
+            return None
+
+    @property
+    def ian(self) -> GeneralNames | None:
+        ext = self.get_extension(OID_EXT_IAN)
+        if ext is None:
+            return None
+        try:
+            return GeneralNames.parse(ext.value_der, strict=False)
+        except Exception:
+            return None
+
+    @property
+    def aia(self) -> InfoAccess | None:
+        ext = self.get_extension(OID_EXT_AIA)
+        if ext is None:
+            return None
+        try:
+            return InfoAccess.parse(ext.value_der, strict=False)
+        except Exception:
+            return None
+
+    @property
+    def sia(self) -> InfoAccess | None:
+        ext = self.get_extension(OID_EXT_SIA)
+        if ext is None:
+            return None
+        try:
+            return InfoAccess.parse(ext.value_der, strict=False)
+        except Exception:
+            return None
+
+    @property
+    def crl_distribution_points(self) -> CRLDistributionPoints | None:
+        ext = self.get_extension(OID_EXT_CRL_DISTRIBUTION_POINTS)
+        if ext is None:
+            return None
+        try:
+            return CRLDistributionPoints.parse(ext.value_der, strict=False)
+        except Exception:
+            return None
+
+    @property
+    def policies(self) -> ParsedPolicies | None:
+        ext = self.get_extension(OID_EXT_CERTIFICATE_POLICIES)
+        if ext is None:
+            return None
+        try:
+            return ParsedPolicies.parse(ext.value_der, strict=False)
+        except Exception:
+            return None
+
+    # ------------------------------------------------------------------
+    # Field shortcuts
+    # ------------------------------------------------------------------
+
+    @property
+    def subject_common_names(self) -> list[str]:
+        return self.subject.get(OID_COMMON_NAME)
+
+    @property
+    def dns_names(self) -> list[str]:
+        """All DNSName values: SAN first, CN fallback if SAN absent."""
+        san = self.san
+        if san is not None:
+            return san.dns_names()
+        return list(self.subject_common_names)
+
+    @property
+    def san_dns_names(self) -> list[str]:
+        san = self.san
+        return san.dns_names() if san is not None else []
+
+    @property
+    def is_precertificate(self) -> bool:
+        return self.get_extension(OID_EXT_CT_POISON) is not None
+
+    @property
+    def is_ca(self) -> bool:
+        ext = self.get_extension(OID_EXT_BASIC_CONSTRAINTS)
+        if ext is None:
+            return False
+        try:
+            ca, _ = parse_basic_constraints(ext.value_der)
+            return ca
+        except Exception:
+            return False
+
+    @property
+    def is_self_issued(self) -> bool:
+        return self.issuer == self.subject
+
+    @property
+    def validity_days(self) -> float:
+        return (self.not_after - self.not_before).total_seconds() / 86400
+
+    def is_valid_at(self, when: _dt.datetime) -> bool:
+        return self.not_before <= when <= self.not_after
+
+    @property
+    def ca_issuer_urls(self) -> list[str]:
+        aia = self.aia
+        if aia is None:
+            return []
+        return aia.locations_for(OID_AD_CA_ISSUERS)
+
+    def fingerprint(self) -> str:
+        return hashlib.sha256(self.to_der()).hexdigest()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cn = self.subject_common_names
+        return f"<Certificate serial={self.serial} cn={cn[0] if cn else '?'}>"

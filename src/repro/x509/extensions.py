@@ -1,0 +1,388 @@
+"""X.509 v3 extensions used by the paper's measurements.
+
+Each typed extension knows how to encode itself to its ``extnValue``
+DER and how to parse back.  The generic :class:`Extension` wrapper keeps
+raw bytes so unknown or deliberately malformed extensions round-trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..asn1 import (
+    DERDecodeError,
+    Element,
+    ObjectIdentifier,
+    StringSpec,
+    Tag,
+    TagClass,
+    UTF8_STRING,
+    UniversalTag,
+    decode_boolean,
+    decode_oid,
+    encode_boolean,
+    encode_integer,
+    encode_octet_string,
+    encode_oid,
+    encode_sequence,
+    explicit,
+    implicit,
+    parse as parse_der,
+    spec_for_tag,
+)
+from ..asn1.oid import (
+    OID_EXT_AIA,
+    OID_EXT_BASIC_CONSTRAINTS,
+    OID_EXT_CERTIFICATE_POLICIES,
+    OID_EXT_CRL_DISTRIBUTION_POINTS,
+    OID_EXT_CT_POISON,
+    OID_EXT_EXTENDED_KEY_USAGE,
+    OID_EXT_IAN,
+    OID_EXT_KEY_USAGE,
+    OID_EXT_SAN,
+    OID_EXT_SIA,
+    OID_QT_CPS,
+    OID_QT_UNOTICE,
+)
+from .general_name import GeneralName
+
+
+@dataclass
+class Extension:
+    """A raw extension: OID, criticality, and the DER of extnValue."""
+
+    oid: ObjectIdentifier
+    critical: bool
+    value_der: bytes
+
+    def encode(self) -> Element:
+        children = [encode_oid(self.oid)]
+        if self.critical:
+            children.append(encode_boolean(True))
+        children.append(encode_octet_string(self.value_der))
+        return encode_sequence(*children)
+
+    @classmethod
+    def parse(cls, element: Element) -> "Extension":
+        if not element.children:
+            raise DERDecodeError("empty Extension", element.offset)
+        ext_oid = decode_oid(element.child(0))
+        critical = False
+        value_index = 1
+        if len(element.children) > 2 or (
+            len(element.children) == 2
+            and element.child(1).tag.number == UniversalTag.BOOLEAN
+        ):
+            critical = decode_boolean(element.child(1), strict=False)
+            value_index = 2
+        value_der = element.child(value_index).content if value_index < len(element.children) else b""
+        return cls(oid=ext_oid, critical=critical, value_der=value_der)
+
+
+# ---------------------------------------------------------------------------
+# GeneralNames-based extensions (SAN, IAN)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GeneralNames:
+    """A SEQUENCE OF GeneralName (SAN/IAN payload)."""
+
+    names: list[GeneralName] = field(default_factory=list)
+
+    def encode(self, strict: bool = False) -> bytes:
+        return encode_sequence(*[gn.encode(strict=strict) for gn in self.names]).encode()
+
+    @classmethod
+    def parse(cls, der: bytes, strict: bool = False) -> "GeneralNames":
+        root = parse_der(der, strict=strict)
+        return cls(names=[GeneralName.parse(child, strict=strict) for child in root.children])
+
+    def dns_names(self) -> list[str]:
+        from .general_name import GeneralNameKind
+
+        return [gn.value for gn in self.names if gn.kind is GeneralNameKind.DNS_NAME]
+
+    def to_extension(self, oid: ObjectIdentifier, critical: bool = False) -> Extension:
+        return Extension(oid=oid, critical=critical, value_der=self.encode())
+
+
+def subject_alt_name(*names: GeneralName, critical: bool = False) -> Extension:
+    """Build a SubjectAltName extension."""
+    return GeneralNames(list(names)).to_extension(OID_EXT_SAN, critical)
+
+
+def issuer_alt_name(*names: GeneralName, critical: bool = False) -> Extension:
+    """Build an IssuerAltName extension."""
+    return GeneralNames(list(names)).to_extension(OID_EXT_IAN, critical)
+
+
+# ---------------------------------------------------------------------------
+# AccessDescription-based extensions (AIA, SIA)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AccessDescription:
+    """One accessMethod/accessLocation pair."""
+
+    method: ObjectIdentifier
+    location: GeneralName
+
+    def encode(self, strict: bool = False) -> Element:
+        return encode_sequence(encode_oid(self.method), self.location.encode(strict=strict))
+
+    @classmethod
+    def parse(cls, element: Element, strict: bool = False) -> "AccessDescription":
+        return cls(
+            method=decode_oid(element.child(0)),
+            location=GeneralName.parse(element.child(1), strict=strict),
+        )
+
+
+@dataclass
+class InfoAccess:
+    """AIA/SIA payload: SEQUENCE OF AccessDescription."""
+
+    descriptions: list[AccessDescription] = field(default_factory=list)
+
+    def encode(self, strict: bool = False) -> bytes:
+        return encode_sequence(
+            *[desc.encode(strict=strict) for desc in self.descriptions]
+        ).encode()
+
+    @classmethod
+    def parse(cls, der: bytes, strict: bool = False) -> "InfoAccess":
+        root = parse_der(der, strict=strict)
+        return cls(
+            descriptions=[AccessDescription.parse(child, strict=strict) for child in root.children]
+        )
+
+    def locations_for(self, method: ObjectIdentifier) -> list[str]:
+        return [d.location.value for d in self.descriptions if d.method == method]
+
+
+def authority_info_access(*descriptions: AccessDescription) -> Extension:
+    """Build an AuthorityInfoAccess extension."""
+    return Extension(OID_EXT_AIA, False, InfoAccess(list(descriptions)).encode())
+
+
+def subject_info_access(*descriptions: AccessDescription) -> Extension:
+    """Build a SubjectInfoAccess extension."""
+    return Extension(OID_EXT_SIA, False, InfoAccess(list(descriptions)).encode())
+
+
+# ---------------------------------------------------------------------------
+# CRLDistributionPoints
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DistributionPoint:
+    """One DistributionPoint (fullName form only, as CAs use)."""
+
+    full_names: list[GeneralName] = field(default_factory=list)
+
+    def encode(self, strict: bool = False) -> Element:
+        # DistributionPointName [0] -> fullName [0] IMPLICIT GeneralNames
+        full = Element.constructed(
+            Tag.context(0, constructed=True),
+            [gn.encode(strict=strict) for gn in self.full_names],
+        )
+        dp_name = Element.constructed(Tag.context(0, constructed=True), [full])
+        return encode_sequence(dp_name)
+
+    @classmethod
+    def parse(cls, element: Element, strict: bool = False) -> "DistributionPoint":
+        names: list[GeneralName] = []
+        for child in element.children:
+            if child.tag.cls is TagClass.CONTEXT and child.tag.number == 0:
+                for inner in child.children:
+                    if inner.tag.cls is TagClass.CONTEXT and inner.tag.number == 0:
+                        names.extend(
+                            GeneralName.parse(gn, strict=strict) for gn in inner.children
+                        )
+        return cls(full_names=names)
+
+
+@dataclass
+class CRLDistributionPoints:
+    points: list[DistributionPoint] = field(default_factory=list)
+
+    def encode(self, strict: bool = False) -> bytes:
+        return encode_sequence(*[p.encode(strict=strict) for p in self.points]).encode()
+
+    @classmethod
+    def parse(cls, der: bytes, strict: bool = False) -> "CRLDistributionPoints":
+        root = parse_der(der, strict=strict)
+        return cls(points=[DistributionPoint.parse(child, strict=strict) for child in root.children])
+
+    def all_urls(self) -> list[str]:
+        return [gn.value for point in self.points for gn in point.full_names]
+
+
+def crl_distribution_points(*urls: str, strict: bool = False) -> Extension:
+    """Build a CRLDistributionPoints extension with fullName URIs."""
+    points = [DistributionPoint(full_names=[GeneralName.uri(url)]) for url in urls]
+    return Extension(
+        OID_EXT_CRL_DISTRIBUTION_POINTS,
+        False,
+        CRLDistributionPoints(points).encode(strict=strict),
+    )
+
+
+# ---------------------------------------------------------------------------
+# CertificatePolicies (with UserNotice explicitText — the Table 11 top lint)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class UserNotice:
+    """A UserNotice qualifier; explicitText is a DisplayText CHOICE."""
+
+    explicit_text: str = ""
+    #: DisplayText alternative actually used (UTF8String is the SHOULD).
+    spec: StringSpec = UTF8_STRING
+
+    def encode(self, strict: bool = False) -> Element:
+        text = Element.primitive(
+            Tag.universal(self.spec.tag_number), self.spec.encode(self.explicit_text, strict=strict)
+        )
+        return encode_sequence(text)
+
+
+@dataclass
+class PolicyQualifier:
+    qualifier_oid: ObjectIdentifier
+    cps_uri: str | None = None
+    user_notice: UserNotice | None = None
+
+    def encode(self, strict: bool = False) -> Element:
+        if self.qualifier_oid == OID_QT_CPS:
+            try:
+                uri_octets = (self.cps_uri or "").encode("latin-1")
+            except UnicodeEncodeError:
+                # Noncompliant CAs put UTF-8 bytes into the IA5String.
+                uri_octets = (self.cps_uri or "").encode("utf-8")
+            value = Element.primitive(
+                Tag.universal(UniversalTag.IA5_STRING), uri_octets
+            )
+        elif self.user_notice is not None:
+            value = self.user_notice.encode(strict=strict)
+        else:
+            value = encode_sequence()
+        return encode_sequence(encode_oid(self.qualifier_oid), value)
+
+
+@dataclass
+class PolicyInformation:
+    policy_oid: ObjectIdentifier
+    qualifiers: list[PolicyQualifier] = field(default_factory=list)
+
+    def encode(self, strict: bool = False) -> Element:
+        children: list[Element] = [encode_oid(self.policy_oid)]
+        if self.qualifiers:
+            children.append(
+                encode_sequence(*[q.encode(strict=strict) for q in self.qualifiers])
+            )
+        return encode_sequence(*children)
+
+
+@dataclass
+class ParsedPolicies:
+    """Decoded CertificatePolicies content for lint inspection."""
+
+    policy_oids: list[ObjectIdentifier] = field(default_factory=list)
+    #: (display-text tag number, decoded text, decode succeeded)
+    explicit_texts: list[tuple[int, str, bool]] = field(default_factory=list)
+    cps_uris: list[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, der: bytes, strict: bool = False) -> "ParsedPolicies":
+        parsed = cls()
+        root = parse_der(der, strict=strict)
+        for policy_info in root.children:
+            if not policy_info.children:
+                continue
+            parsed.policy_oids.append(decode_oid(policy_info.child(0)))
+            if len(policy_info.children) < 2:
+                continue
+            for qualifier in policy_info.child(1).children:
+                if len(qualifier.children) < 2:
+                    continue
+                q_oid = decode_oid(qualifier.child(0))
+                q_value = qualifier.child(1)
+                if q_oid == OID_QT_CPS:
+                    parsed.cps_uris.append(
+                        q_value.content.decode("latin-1", errors="replace")
+                    )
+                elif q_oid == OID_QT_UNOTICE:
+                    for part in q_value.children:
+                        if part.tag.cls is TagClass.UNIVERSAL and part.tag.is_string:
+                            try:
+                                spec = spec_for_tag(part.tag.number)
+                                text = spec.decode(part.content, strict=False)
+                                ok = True
+                                try:
+                                    spec.decode(part.content, strict=True)
+                                except Exception:
+                                    ok = False
+                            except Exception:
+                                text, ok = part.content.decode("latin-1", "replace"), False
+                            parsed.explicit_texts.append((part.tag.number, text, ok))
+        return parsed
+
+
+def certificate_policies(*policies: PolicyInformation, strict: bool = False) -> Extension:
+    """Build a CertificatePolicies extension."""
+    return Extension(
+        OID_EXT_CERTIFICATE_POLICIES,
+        False,
+        encode_sequence(*[p.encode(strict=strict) for p in policies]).encode(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# BasicConstraints / KeyUsage / EKU / CT poison
+# ---------------------------------------------------------------------------
+
+
+def basic_constraints(ca: bool, path_len: int | None = None, critical: bool = True) -> Extension:
+    """Build a BasicConstraints extension."""
+    children: list[Element] = []
+    if ca:
+        children.append(encode_boolean(True))
+        if path_len is not None:
+            children.append(encode_integer(path_len))
+    return Extension(OID_EXT_BASIC_CONSTRAINTS, critical, encode_sequence(*children).encode())
+
+
+def parse_basic_constraints(der: bytes) -> tuple[bool, int | None]:
+    """Parse BasicConstraints content; returns (is_ca, path_len)."""
+    root = parse_der(der, strict=False)
+    ca = False
+    path_len = None
+    for child in root.children:
+        if child.tag.number == UniversalTag.BOOLEAN:
+            ca = decode_boolean(child, strict=False)
+        elif child.tag.number == UniversalTag.INTEGER:
+            from ..asn1 import decode_integer
+
+            path_len = decode_integer(child, strict=False)
+    return ca, path_len
+
+
+def extended_key_usage(*oids: ObjectIdentifier) -> Extension:
+    """Build an ExtendedKeyUsage extension."""
+    return Extension(
+        OID_EXT_EXTENDED_KEY_USAGE,
+        False,
+        encode_sequence(*[encode_oid(o) for o in oids]).encode(),
+    )
+
+
+def ct_poison() -> Extension:
+    """The critical CT precertificate poison extension (RFC 6962)."""
+    from ..asn1 import encode_null
+
+    return Extension(OID_EXT_CT_POISON, True, encode_null().encode())

@@ -1,0 +1,148 @@
+"""Simulation-grade RSA signer (textbook RSA over SHA-256).
+
+The paper's pipeline needs *verifiable* signatures — to reconstruct and
+check chains via AIA (Section 5.1's impact analysis) — but nothing about
+the study depends on cryptographic strength.  We therefore implement
+compact textbook RSA with deterministic, seedable key generation, fully
+from scratch (Miller-Rabin primality, modular inverse via
+``pow(e, -1, phi)``).
+
+Do not use this module for anything but simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+from ..asn1 import (
+    Element,
+    decode_bit_string,
+    decode_integer,
+    encode_bit_string,
+    encode_integer,
+    encode_null,
+    encode_oid,
+    encode_sequence,
+    parse as parse_der,
+)
+from ..asn1.oid import OID_RSA_ENCRYPTION, OID_SHA256_WITH_RSA
+
+_SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47]
+
+
+def _is_probable_prime(n: int, rng: random.Random, rounds: int = 24) -> bool:
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng: random.Random) -> int:
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if _is_probable_prime(candidate, rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class SimPublicKey:
+    """RSA public key (n, e)."""
+
+    n: int
+    e: int
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Verify a signature over SHA-256(message)."""
+        digest = int.from_bytes(hashlib.sha256(message).digest(), "big")
+        sig_int = int.from_bytes(signature, "big")
+        if sig_int >= self.n:
+            return False
+        return pow(sig_int, self.e, self.n) == digest % self.n
+
+    # -- SubjectPublicKeyInfo codec ------------------------------------
+
+    def to_spki(self) -> Element:
+        """Encode as a SubjectPublicKeyInfo SEQUENCE."""
+        algorithm = encode_sequence(encode_oid(OID_RSA_ENCRYPTION), encode_null())
+        rsa_key = encode_sequence(encode_integer(self.n), encode_integer(self.e))
+        return encode_sequence(algorithm, encode_bit_string(rsa_key.encode()))
+
+    @classmethod
+    def from_spki(cls, element: Element) -> "SimPublicKey":
+        key_bits, _unused = decode_bit_string(element.child(1))
+        rsa_key = parse_der(key_bits, strict=False)
+        return cls(
+            n=decode_integer(rsa_key.child(0), strict=False),
+            e=decode_integer(rsa_key.child(1), strict=False),
+        )
+
+    def fingerprint(self) -> str:
+        return hashlib.sha256(self.to_spki().encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class SimPrivateKey:
+    """RSA private key; carries its public half."""
+
+    n: int
+    e: int
+    d: int
+
+    @property
+    def public_key(self) -> SimPublicKey:
+        return SimPublicKey(n=self.n, e=self.e)
+
+    def sign(self, message: bytes) -> bytes:
+        """Sign SHA-256(message) with textbook RSA."""
+        digest = int.from_bytes(hashlib.sha256(message).digest(), "big")
+        signature = pow(digest, self.d, self.n)
+        length = (self.n.bit_length() + 7) // 8
+        return signature.to_bytes(length, "big")
+
+
+def generate_keypair(seed: int | str | None = None, bits: int = 512) -> SimPrivateKey:
+    """Generate a deterministic RSA keypair from ``seed``.
+
+    512-bit moduli keep corpus generation fast; the SHA-256 digest
+    (256 bits) always fits below the modulus.
+    """
+    if bits < 320:
+        raise ValueError("modulus must exceed the 256-bit digest")
+    rng = random.Random(seed)
+    e = 65537
+    while True:
+        p = _random_prime(bits // 2, rng)
+        q = _random_prime(bits // 2, rng)
+        if p == q:
+            continue
+        phi = (p - 1) * (q - 1)
+        try:
+            d = pow(e, -1, phi)
+        except ValueError:
+            continue
+        return SimPrivateKey(n=p * q, e=e, d=d)
+
+
+def signature_algorithm_element() -> Element:
+    """The AlgorithmIdentifier for our simulated sha256WithRSA."""
+    return encode_sequence(encode_oid(OID_SHA256_WITH_RSA), encode_null())

@@ -1,0 +1,104 @@
+"""OCSP (RFC 6960, compact subset) — responder and response codec.
+
+Completes the revocation substrate: the paper's mitigation discussion
+(Ballot SC063: OCSP optional, CRLs required; short-lived certificates
+superseding both) needs a client that can *prefer* OCSP and fall back
+to CRLs.  The DER layout is a faithful miniature: a signed ResponseData
+carrying (serial, status, thisUpdate, nextUpdate).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import enum
+from dataclasses import dataclass
+
+from ..asn1 import (
+    DERDecodeError,
+    decode_bit_string,
+    decode_integer,
+    decode_time,
+    encode_bit_string,
+    encode_integer,
+    encode_sequence,
+    encode_time,
+    parse as parse_der,
+)
+from .keys import SimPrivateKey, SimPublicKey
+
+
+class CertStatus(enum.IntEnum):
+    """OCSP certificate status values (RFC 6960)."""
+    GOOD = 0
+    REVOKED = 1
+    UNKNOWN = 2
+
+
+@dataclass
+class OCSPResponse:
+    """A parsed single-certificate OCSP response."""
+
+    serial: int
+    status: CertStatus
+    this_update: _dt.datetime
+    next_update: _dt.datetime
+    tbs_der: bytes = b""
+    signature: bytes = b""
+
+    def verify(self, responder_key: SimPublicKey) -> bool:
+        return responder_key.verify(self.tbs_der, self.signature)
+
+    def is_current(self, when: _dt.datetime) -> bool:
+        return self.this_update <= when <= self.next_update
+
+    @classmethod
+    def from_der(cls, data: bytes) -> "OCSPResponse":
+        root = parse_der(data, strict=False)
+        if len(root.children) != 2:
+            raise DERDecodeError("OCSPResponse needs tbs/signature")
+        tbs = root.child(0)
+        signature, _unused = decode_bit_string(root.child(1))
+        response = cls(
+            serial=decode_integer(tbs.child(0), strict=False),
+            status=CertStatus(decode_integer(tbs.child(1), strict=False)),
+            this_update=decode_time(tbs.child(2)),
+            next_update=decode_time(tbs.child(3)),
+        )
+        response.tbs_der = tbs.encode()
+        response.signature = signature
+        return response
+
+
+class OCSPResponder:
+    """A CA-operated responder answering by serial number."""
+
+    def __init__(self, key: SimPrivateKey, lifetime_minutes: int = 60):
+        self._key = key
+        self._revoked: set[int] = set()
+        self._known: set[int] = set()
+        self.lifetime = _dt.timedelta(minutes=lifetime_minutes)
+
+    def register(self, serial: int) -> None:
+        self._known.add(serial)
+
+    def revoke(self, serial: int) -> None:
+        self._known.add(serial)
+        self._revoked.add(serial)
+
+    def respond(self, serial: int, when: _dt.datetime | None = None) -> bytes:
+        """Produce a signed DER response for one serial."""
+        when = when or _dt.datetime(2024, 6, 1)
+        if serial in self._revoked:
+            status = CertStatus.REVOKED
+        elif serial in self._known:
+            status = CertStatus.GOOD
+        else:
+            status = CertStatus.UNKNOWN
+        tbs = encode_sequence(
+            encode_integer(serial),
+            encode_integer(int(status)),
+            encode_time(when),
+            encode_time(when + self.lifetime),
+        )
+        signature = self._key.sign(tbs.encode())
+        return encode_sequence(tbs, encode_bit_string(signature)).encode()

@@ -1,0 +1,55 @@
+"""PEM armor (RFC 7468) for certificates and CRLs."""
+
+from __future__ import annotations
+
+import base64
+import re
+
+_PEM_RE = re.compile(
+    r"-----BEGIN (?P<label>[A-Z0-9 ]+)-----\s*(?P<body>[A-Za-z0-9+/=\s]+?)-----END (?P=label)-----",
+    re.DOTALL,
+)
+
+
+class PEMError(Exception):
+    """Input is not valid PEM armor."""
+
+
+def encode_pem(der: bytes, label: str = "CERTIFICATE") -> str:
+    """Wrap DER bytes in PEM armor with 64-column base64 lines."""
+    body = base64.b64encode(der).decode("ascii")
+    lines = [body[i : i + 64] for i in range(0, len(body), 64)]
+    return f"-----BEGIN {label}-----\n" + "\n".join(lines) + f"\n-----END {label}-----\n"
+
+
+def decode_pem(text: str, label: str | None = None) -> bytes:
+    """Extract the first PEM block (optionally of a specific label)."""
+    for match in _PEM_RE.finditer(text):
+        if label is not None and match.group("label") != label:
+            continue
+        body = re.sub(r"\s+", "", match.group("body"))
+        try:
+            return base64.b64decode(body, validate=True)
+        except Exception as exc:
+            raise PEMError(f"invalid base64 in PEM body: {exc}") from exc
+    raise PEMError(
+        f"no PEM block{'' if label is None else f' labelled {label!r}'} found"
+    )
+
+
+def decode_pem_all(text: str, label: str = "CERTIFICATE") -> list[bytes]:
+    """Extract every PEM block with the given label."""
+    blocks = []
+    for match in _PEM_RE.finditer(text):
+        if match.group("label") != label:
+            continue
+        body = re.sub(r"\s+", "", match.group("body"))
+        blocks.append(base64.b64decode(body))
+    return blocks
+
+
+def load_certificate_bytes(data: bytes) -> bytes:
+    """Accept PEM or raw DER input and return the DER bytes."""
+    if data.lstrip().startswith(b"-----BEGIN"):
+        return decode_pem(data.decode("ascii", errors="replace"), label="CERTIFICATE")
+    return data

@@ -1,0 +1,95 @@
+"""Chain reconstruction and signature verification.
+
+Implements the Section 5.1 impact-analysis step: "after reconstructing
+certificate chains via AIA extensions and verifying signatures".  The
+:class:`CertificatePool` indexes certificates by subject and by the URL
+they claim to be retrievable from, so chains can be rebuilt either by
+name chaining or by following caIssuers AIA pointers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .certificate import Certificate
+from .name import Name
+
+
+class ChainError(Exception):
+    """A chain could not be built or failed verification."""
+
+
+@dataclass
+class CertificatePool:
+    """An index of candidate issuer certificates."""
+
+    by_subject: dict[bytes, list[Certificate]] = field(default_factory=dict)
+    by_url: dict[str, Certificate] = field(default_factory=dict)
+
+    def add(self, cert: Certificate, url: str | None = None) -> None:
+        key = cert.subject.encode().encode()
+        self.by_subject.setdefault(key, []).append(cert)
+        if url:
+            self.by_url[url] = cert
+
+    def candidates_for(self, name: Name) -> list[Certificate]:
+        return list(self.by_subject.get(name.encode().encode(), []))
+
+    def fetch(self, url: str) -> Certificate | None:
+        """Simulated AIA caIssuers fetch."""
+        return self.by_url.get(url)
+
+
+def verify_signature(cert: Certificate, issuer: Certificate) -> bool:
+    """Check ``cert``'s signature against ``issuer``'s public key."""
+    if issuer.public_key is None or not cert.tbs_der:
+        return False
+    return issuer.public_key.verify(cert.tbs_der, cert.signature)
+
+
+def build_chain(
+    leaf: Certificate,
+    pool: CertificatePool,
+    max_depth: int = 8,
+) -> list[Certificate]:
+    """Reconstruct a chain from ``leaf`` to a self-issued root.
+
+    Resolution order per link: name-chaining candidates from the pool
+    first, then the AIA caIssuers URL.  Raises :class:`ChainError` when
+    no verifiable issuer is found.
+    """
+    chain = [leaf]
+    current = leaf
+    for _ in range(max_depth):
+        if current.is_self_issued and verify_signature(current, current):
+            return chain
+        candidates = pool.candidates_for(current.issuer)
+        for url in current.ca_issuer_urls:
+            fetched = pool.fetch(url)
+            if fetched is not None:
+                candidates.append(fetched)
+        issuer_cert = next(
+            (c for c in candidates if verify_signature(current, c)), None
+        )
+        if issuer_cert is None:
+            raise ChainError(
+                f"no verifiable issuer for {current.subject.rfc4514_string()!r}"
+            )
+        if issuer_cert.fingerprint() == current.fingerprint():
+            return chain
+        chain.append(issuer_cert)
+        current = issuer_cert
+    raise ChainError("chain exceeded maximum depth")
+
+
+def is_trusted(
+    leaf: Certificate,
+    pool: CertificatePool,
+    trust_anchors: set[str],
+) -> bool:
+    """Whether a verifiable chain ends at a trusted root fingerprint."""
+    try:
+        chain = build_chain(leaf, pool)
+    except ChainError:
+        return False
+    return chain[-1].fingerprint() in trust_anchors

@@ -1,0 +1,60 @@
+"""Tests for the ASCII figure renderers."""
+
+from repro.analysis.longitudinal import IssuanceTrend, ValidityCDF
+from repro.analysis.render import render_cdf, render_trend
+
+
+def make_trend():
+    trend = IssuanceTrend()
+    for year, count in ((2013, 5), (2018, 500), (2024, 9000)):
+        for _ in range(3):
+            trend.all_unicerts.counts[year] = count
+    trend.noncompliant.counts[2013] = 2
+    return trend
+
+
+class TestTrendRender:
+    def test_rows_per_year(self):
+        lines = render_trend(make_trend())
+        assert len(lines) == 2 + len(IssuanceTrend().years)
+
+    def test_log_scaling_monotone(self):
+        lines = render_trend(make_trend())
+        bar_2013 = next(l for l in lines if l.startswith("2013")).count("#")
+        bar_2024 = next(l for l in lines if l.startswith("2024")).count("#")
+        assert bar_2024 > bar_2013 > 0
+
+    def test_zero_year_empty_bar(self):
+        lines = render_trend(make_trend())
+        row_2012 = next(l for l in lines if l.startswith("2012"))
+        assert "#" not in row_2012
+
+
+class TestCDFRender:
+    def make_curves(self):
+        return {
+            "idn": ValidityCDF("IDNCerts", days=[90.0] * 90 + [365.0] * 10),
+            "other": ValidityCDF("other Unicerts", days=[398.0] * 60 + [800.0] * 40),
+            "noncompliant": ValidityCDF("noncompliant", days=[700.0] * 50 + [1000.0] * 50),
+        }
+
+    def test_plot_shape(self):
+        lines = render_cdf(self.make_curves())
+        assert lines[0].startswith("Figure 3")
+        assert any(line.startswith("100%") for line in lines)
+        assert lines[-1].strip().startswith("i=")
+
+    def test_symbols_present(self):
+        body = "\n".join(render_cdf(self.make_curves()))
+        assert "i" in body and "o" in body and "n" in body
+
+    def test_missing_curve_tolerated(self):
+        curves = self.make_curves()
+        del curves["other"]
+        lines = render_cdf(curves, keys=("idn", "other", "noncompliant"))
+        assert lines  # no crash; legend covers available curves only
+
+    def test_empty_curve_tolerated(self):
+        curves = self.make_curves()
+        curves["idn"] = ValidityCDF("IDNCerts", days=[])
+        assert render_cdf(curves)

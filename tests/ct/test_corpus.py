@@ -1,0 +1,164 @@
+"""Tests for the calibrated synthetic corpus generator.
+
+These tests run at a tiny scale (1/20000) to stay fast; the benchmark
+harness exercises the canonical 1/1000 scale.
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro.ct import (
+    ANALYSIS_DATE,
+    Corpus,
+    CorpusGenerator,
+    DEFECT_PLAN,
+    ISSUERS,
+    PAPER_TOTAL_NC,
+    PAPER_TOTAL_UNICERTS,
+    TrustStatus,
+)
+from repro.lint import run_lints, summarize
+
+SCALE = 1 / 20000
+
+
+@pytest.fixture(scope="module")
+def corpus() -> Corpus:
+    return CorpusGenerator(seed=7, scale=SCALE).generate()
+
+
+@pytest.fixture(scope="module")
+def reports(corpus):
+    return [run_lints(r.certificate, issued_at=r.issued_at) for r in corpus.records]
+
+
+class TestCalibration:
+    def test_total_close_to_scaled_paper(self, corpus):
+        expected = PAPER_TOTAL_UNICERTS * SCALE
+        assert abs(len(corpus) - expected) / expected < 0.05
+
+    def test_deterministic(self):
+        a = CorpusGenerator(seed=7, scale=1 / 200000).generate()
+        b = CorpusGenerator(seed=7, scale=1 / 200000).generate()
+        assert [r.issuer_org for r in a.records] == [r.issuer_org for r in b.records]
+
+    def test_nfc_trio_always_planted(self, corpus):
+        nfc = [r for r in corpus.records if r.defect == "idn_not_nfc"]
+        assert len(nfc) == 3
+
+    def test_issuer_oligopoly(self, corpus):
+        by_issuer = corpus.by_issuer()
+        top = sorted(by_issuer.values(), key=len, reverse=True)[:10]
+        top_share = sum(len(v) for v in top) / len(corpus)
+        assert top_share > 0.85  # paper: top-10 = 97.6%
+
+    def test_lets_encrypt_idn_only(self, corpus):
+        le = corpus.by_issuer().get("Let's Encrypt", [])
+        assert le, "Let's Encrypt must dominate the corpus"
+        assert all(r.is_idn or r.defect or r.latent for r in le)
+
+
+class TestLintingAgreement:
+    """Running the real linter over the corpus matches the plants."""
+
+    def test_every_planted_defect_detected(self, corpus, reports):
+        missed = [
+            record.defect
+            for record, report in zip(corpus.records, reports)
+            if record.defect and not report.noncompliant
+        ]
+        assert missed == []
+
+    def test_no_false_positives_on_compliant(self, corpus, reports):
+        false_positives = [
+            report.fired_lints()
+            for record, report in zip(corpus.records, reports)
+            if record.defect is None and record.latent is None and report.noncompliant
+        ]
+        assert false_positives == []
+
+    def test_latent_suppressed_by_effective_dates(self, corpus, reports):
+        for record, report in zip(corpus.records, reports):
+            if record.latent:
+                assert not report.noncompliant
+                assert report.noncompliant_ignoring_dates
+
+    def test_nc_rate_near_paper(self, corpus, reports):
+        summary = summarize(reports)
+        rate = summary.noncompliant / summary.total
+        # Paper: 0.72%; small-sample scale tolerance.
+        assert 0.002 < rate < 0.03
+
+    def test_ignoring_dates_multiplier(self, corpus, reports):
+        # Paper footnote 4: 249K -> 1.8M (a ~7x multiplier).
+        summary = summarize(reports)
+        multiplier = summary.noncompliant_ignoring_dates / max(summary.noncompliant, 1)
+        assert multiplier > 2.5
+
+
+class TestTrustShares:
+    def test_trusted_majority_of_nc(self, corpus, reports):
+        nc = [
+            record
+            for record, report in zip(corpus.records, reports)
+            if report.noncompliant
+        ]
+        trusted = sum(1 for r in nc if r.issuance_trust is TrustStatus.PUBLIC)
+        # Paper: 65.3% of NC from publicly trusted CAs.
+        assert trusted / len(nc) > 0.40
+
+    def test_overall_trust_rate(self, corpus):
+        trusted = sum(1 for r in corpus.records if r.trusted_at_issuance)
+        # Paper: 90.1% issued by trusted CA owners.
+        assert trusted / len(corpus) > 0.85
+
+
+class TestValidityPeriods:
+    def test_idncerts_mostly_90_days(self, corpus):
+        idn = [r for r in corpus.compliant_planted if r.is_idn]
+        short = sum(1 for r in idn if r.certificate.validity_days <= 90)
+        assert short / len(idn) > 0.80  # paper: 89.6%
+
+    def test_noncompliant_longer_lived(self, corpus):
+        nc_days = [r.certificate.validity_days for r in corpus.noncompliant_planted]
+        long_lived = sum(1 for d in nc_days if d >= 365)
+        assert long_lived / len(nc_days) > 0.30  # paper: ~50%
+
+
+class TestYears:
+    def test_within_study_window(self, corpus):
+        for record in corpus.records:
+            assert 2012 <= record.issued_at.year <= 2025
+
+    def test_growth_trend(self, corpus):
+        from collections import Counter
+
+        years = Counter(r.issued_at.year for r in corpus.compliant_planted)
+        assert years[2023] > years[2015]
+
+    def test_latent_predate_their_rules(self, corpus):
+        for record in corpus.records:
+            if record.latent == "latent_whitespace":
+                assert record.issued_at.year <= 2014
+            elif record.latent == "latent_smtp_ascii_mailbox":
+                assert record.issued_at.year <= 2023
+
+
+class TestDefectPlanShape:
+    def test_plan_matches_table11_total(self):
+        named = sum(count for _name, count, _r in DEFECT_PLAN)
+        # The named classes cover the bulk of the paper's 249,281.
+        assert 0.9 * PAPER_TOTAL_NC < named < 1.5 * PAPER_TOTAL_NC
+
+    def test_issuer_table_covers_table2(self):
+        orgs = {spec.org for spec in ISSUERS}
+        for expected in (
+            "Let's Encrypt",
+            "DigiCert Inc",
+            "Česká pošta, s.p.",
+            "Symantec Corporation",
+            "StartCom Ltd.",
+            "Government of Korea",
+        ):
+            assert expected in orgs

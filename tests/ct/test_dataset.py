@@ -1,0 +1,69 @@
+"""Tests for corpus export/import."""
+
+import pytest
+
+from repro.ct import CorpusGenerator
+from repro.ct.dataset import export_corpus, load_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return CorpusGenerator(seed=17, scale=1 / 100000).generate()
+
+
+class TestRoundtrip:
+    def test_export_creates_layout(self, corpus, tmp_path):
+        root = export_corpus(corpus, tmp_path / "dataset")
+        assert (root / "index.jsonl").exists()
+        assert (root / "manifest.json").exists()
+        assert list((root / "certs").glob("*.pem"))
+        assert list((root / "ca").glob("*.pem"))
+
+    def test_roundtrip_preserves_records(self, corpus, tmp_path):
+        root = export_corpus(corpus, tmp_path / "dataset")
+        loaded = load_corpus(root)
+        assert len(loaded.records) == len(corpus.records)
+        for original, restored in zip(corpus.records, loaded.records):
+            assert restored.issuer_org == original.issuer_org
+            assert restored.defect == original.defect
+            assert restored.latent == original.latent
+            assert restored.issued_at == original.issued_at
+            assert (
+                restored.certificate.fingerprint()
+                == original.certificate.fingerprint()
+            )
+
+    def test_roundtrip_preserves_trust_and_cas(self, corpus, tmp_path):
+        root = export_corpus(corpus, tmp_path / "dataset")
+        loaded = load_corpus(root)
+        assert loaded.trust_anchors == corpus.trust_anchors
+        assert set(loaded.ca_certificates) == set(corpus.ca_certificates)
+
+    def test_loaded_corpus_lints_identically(self, corpus, tmp_path):
+        from repro.analysis import lint_corpus
+
+        root = export_corpus(corpus, tmp_path / "dataset")
+        loaded = load_corpus(root)
+        original_reports = lint_corpus(corpus)
+        loaded_reports = lint_corpus(loaded)
+        assert [sorted(r.fired_lints()) for r in original_reports] == [
+            sorted(r.fired_lints()) for r in loaded_reports
+        ]
+
+    def test_loaded_chain_verification_works(self, corpus, tmp_path):
+        from repro.x509 import build_chain
+
+        root = export_corpus(corpus, tmp_path / "dataset")
+        loaded = load_corpus(root)
+        record = loaded.records[0]
+        chain = build_chain(record.certificate, loaded.ca_pool())
+        assert chain[-1].is_ca
+
+    def test_unknown_format_rejected(self, tmp_path):
+        import json
+
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        (bad / "manifest.json").write_text(json.dumps({"format": "other"}))
+        with pytest.raises(ValueError):
+            load_corpus(bad)

@@ -1,0 +1,82 @@
+"""Tests for JSON serialization of lint reports."""
+
+import datetime as dt
+import json
+
+from repro.lint import run_lints, summarize
+from repro.lint.serialization import (
+    report_to_dict,
+    report_to_json,
+    summary_to_dict,
+)
+from repro.x509 import CertificateBuilder, GeneralName, generate_keypair, subject_alt_name
+
+KEY = generate_keypair(seed=161)
+
+
+def dirty_cert():
+    return (
+        CertificateBuilder()
+        .subject_cn("bad\x00.example.com")
+        .not_before(dt.datetime(2024, 1, 1))
+        .add_extension(subject_alt_name(GeneralName.dns("bad\x00.example.com")))
+        .sign(KEY)
+    )
+
+
+class TestReportSerialization:
+    def test_round_trips_through_json(self):
+        cert = dirty_cert()
+        report = run_lints(cert)
+        payload = json.loads(report_to_json(report, cert))
+        assert payload["noncompliant"] is True
+        assert payload["certificate"]["serial"] == 1
+        names = [f["lint"] for f in payload["findings"]]
+        assert "e_rfc_subject_dn_not_printable_characters" in names
+
+    def test_finding_fields(self):
+        report = run_lints(dirty_cert())
+        finding = report_to_dict(report)["findings"][0]
+        for key in ("lint", "status", "severity", "type", "new", "source",
+                    "citation", "effective_date"):
+            assert key in finding
+
+    def test_unicode_survives(self):
+        key = generate_keypair(seed=162)
+        from repro.asn1.oid import OID_ORGANIZATION_NAME
+
+        cert = (
+            CertificateBuilder()
+            .subject_cn("ok.example.com")
+            .subject_attr(OID_ORGANIZATION_NAME, "Störi AG ")
+            .not_before(dt.datetime(2024, 1, 1))
+            .add_extension(subject_alt_name(GeneralName.dns("ok.example.com")))
+            .sign(key)
+        )
+        text = report_to_json(run_lints(cert), cert)
+        assert "Störi" in text  # ensure_ascii=False
+
+    def test_include_passes(self):
+        report = run_lints(dirty_cert())
+        payload = report_to_dict(report, include_passes=True)
+        assert "passes" in payload and payload["passes"]
+
+    def test_suppressed_section(self):
+        old = (
+            CertificateBuilder()
+            .subject_cn("old.example.com")
+            .not_before(dt.datetime(2009, 1, 1))
+            .sign(KEY)
+        )
+        payload = report_to_dict(run_lints(old))
+        suppressed = [f["lint"] for f in payload["suppressed_by_effective_date"]]
+        assert "w_cab_subject_common_name_not_in_san" in suppressed
+
+
+class TestSummarySerialization:
+    def test_summary_dict(self):
+        summary = summarize([run_lints(dirty_cert())])
+        payload = summary_to_dict(summary)
+        assert payload["total"] == 1
+        assert payload["noncompliant"] == 1
+        assert json.dumps(payload)  # serializable

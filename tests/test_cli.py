@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import datetime as dt
+
+import pytest
+
+from repro.cli import main
+from repro.x509 import CertificateBuilder, GeneralName, generate_keypair, subject_alt_name
+from repro.x509.pem import encode_pem
+
+KEY = generate_keypair(seed=121)
+
+
+def write_cert(tmp_path, cn, san=None, pem=True):
+    builder = CertificateBuilder().subject_cn(cn).not_before(dt.datetime(2024, 1, 1))
+    if san:
+        builder.add_extension(subject_alt_name(GeneralName.dns(san)))
+    der = builder.sign(KEY).to_der()
+    path = tmp_path / "cert.pem"
+    if pem:
+        path.write_text(encode_pem(der))
+    else:
+        path.write_bytes(der)
+    return str(path)
+
+
+class TestLintCommand:
+    def test_compliant_exit_zero(self, tmp_path, capsys):
+        path = write_cert(tmp_path, "ok.example.com", san="ok.example.com")
+        assert main(["lint", path]) == 0
+        out = capsys.readouterr().out
+        assert "compliant: no findings" in out
+
+    def test_noncompliant_exit_one(self, tmp_path, capsys):
+        path = write_cert(tmp_path, "bad\x00cn.example.com", san="other.example.com")
+        assert main(["lint", path]) == 1
+        out = capsys.readouterr().out
+        assert "finding(s):" in out
+        assert "e_rfc_subject_dn_not_printable_characters" in out
+
+    def test_der_input(self, tmp_path):
+        path = write_cert(tmp_path, "ok.example.com", san="ok.example.com", pem=False)
+        assert main(["lint", path]) == 0
+
+    def test_ignore_effective_dates_flag(self, tmp_path, capsys):
+        # An old cert with CN-not-in-SAN: suppressed normally, flagged
+        # with the override.
+        builder = (
+            CertificateBuilder()
+            .subject_cn("old.example.com")
+            .not_before(dt.datetime(2009, 1, 1))
+        )
+        path = tmp_path / "old.pem"
+        path.write_text(encode_pem(builder.sign(KEY).to_der()))
+        assert main(["lint", str(path)]) == 0
+        assert main(["lint", str(path), "--ignore-effective-dates"]) == 1
+
+
+class TestRulesCommand:
+    def test_lists_95(self, capsys):
+        assert main(["rules"]) == 0
+        out = capsys.readouterr().out
+        assert "95 rule(s)" in out
+
+    def test_new_only(self, capsys):
+        assert main(["rules", "--new-only"]) == 0
+        out = capsys.readouterr().out
+        assert "50 rule(s)" in out
+
+    def test_type_filter(self, capsys):
+        assert main(["rules", "--type", "Bad Normalization"]) == 0
+        out = capsys.readouterr().out
+        assert "4 rule(s)" in out
+
+    def test_verbose(self, capsys):
+        assert main(["rules", "--new-only", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "structures:" in out
+
+
+class TestCorpusCommand:
+    def test_tiny_corpus(self, capsys):
+        assert main(["corpus", "--scale", "0.00002", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "noncompliant:" in out
+        assert "top lints:" in out
+
+
+class TestDifferentialCommand:
+    def test_matrices_printed(self, capsys):
+        assert main(["differential"]) == 0
+        out = capsys.readouterr().out
+        assert "decoding matrix" in out
+        assert "character checks" in out

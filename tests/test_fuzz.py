@@ -1,0 +1,148 @@
+"""Failure-injection and fuzz tests: malformed inputs must raise typed
+errors, never crash with unexpected exceptions.
+
+Mirrors the mutation-based robustness testing of the paper's related
+work (SBDT-style ASN.1 tree mutation): random byte-level corruption of
+valid certificates must leave every public entry point either working
+or raising a library exception.
+"""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asn1 import ASN1Error, DERDecodeError, parse
+from repro.uni import IDNAError, PunycodeError, punycode
+from repro.uni.idna import alabel_violations
+from repro.x509 import Certificate, CertificateBuilder, GeneralName, generate_keypair, subject_alt_name
+
+KEY = generate_keypair(seed=131)
+
+
+def sample_der() -> bytes:
+    return (
+        CertificateBuilder()
+        .subject_cn("fuzz.example.com")
+        .not_before(dt.datetime(2024, 1, 1))
+        .add_extension(subject_alt_name(GeneralName.dns("fuzz.example.com")))
+        .sign(KEY)
+        .to_der()
+    )
+
+
+BASE_DER = sample_der()
+
+
+class TestDERFuzz:
+    @given(st.binary(min_size=0, max_size=200))
+    @settings(max_examples=200)
+    def test_random_bytes_never_crash_parser(self, data):
+        try:
+            parse(data, strict=True)
+        except ASN1Error:
+            pass  # typed failure is the contract
+
+    @given(
+        st.integers(min_value=0, max_value=len(BASE_DER) - 1),
+        st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=300)
+    def test_single_byte_corruption(self, index, value):
+        mutated = bytearray(BASE_DER)
+        mutated[index] = value
+        try:
+            cert = Certificate.from_der(bytes(mutated), strict=False)
+            # If it parsed, accessors must not crash either.
+            _ = cert.subject_common_names
+            _ = cert.san_dns_names
+            _ = cert.dns_names
+            _ = cert.is_precertificate
+        except (ASN1Error, OverflowError, ValueError):
+            pass
+
+    @given(st.integers(min_value=1, max_value=len(BASE_DER) - 1))
+    @settings(max_examples=100)
+    def test_truncation(self, cut):
+        # Any truncation breaks the outer TLV length: typed error only.
+        try:
+            Certificate.from_der(BASE_DER[:cut], strict=False)
+        except (ASN1Error, ValueError, OverflowError):
+            return
+        raise AssertionError("truncated parse unexpectedly succeeded")
+
+
+class TestLintFuzz:
+    @given(
+        st.integers(min_value=0, max_value=len(BASE_DER) - 1),
+        st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_linting_mutated_certs_never_crashes(self, index, value):
+        from repro.lint import run_lints
+
+        mutated = bytearray(BASE_DER)
+        mutated[index] = value
+        try:
+            cert = Certificate.from_der(bytes(mutated), strict=False)
+        except (ASN1Error, OverflowError, ValueError):
+            return
+        report = run_lints(cert)
+        assert report is not None
+
+
+class TestParserProfileFuzz:
+    @given(st.binary(max_size=64), st.sampled_from([12, 19, 20, 22, 26, 18, 28, 30]))
+    @settings(max_examples=200)
+    def test_profiles_never_crash_on_raw_bytes(self, raw, tag):
+        from repro.tlslibs import ALL_PROFILES
+
+        for profile in ALL_PROFILES:
+            outcome = profile.decode_dn_attribute(tag, raw)
+            assert outcome.ok or outcome.error
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=100)
+    def test_gn_decoders_never_crash(self, raw):
+        from repro.tlslibs import ALL_PROFILES
+
+        for profile in ALL_PROFILES:
+            for context in ("san", "crldp"):
+                outcome = profile.decode_gn(raw, context=context)
+                assert outcome.ok or outcome.error
+
+
+class TestIDNFuzz:
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", max_size=32))
+    @settings(max_examples=200)
+    def test_alabel_violations_never_crash(self, payload):
+        problems = alabel_violations("xn--" + payload)
+        assert isinstance(problems, list)
+
+    @given(st.text(max_size=32))
+    @settings(max_examples=200)
+    def test_ulabel_violations_never_crash(self, label):
+        from repro.uni import ulabel_violations
+
+        problems = ulabel_violations(label)
+        assert isinstance(problems, list)
+
+    @given(st.text(max_size=40))
+    @settings(max_examples=200)
+    def test_punycode_encode_total(self, text):
+        try:
+            encoded = punycode.encode(text)
+        except PunycodeError:
+            return
+        assert punycode.decode(encoded) == text
+
+
+class TestMonitorFuzz:
+    @given(st.text(max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_monitor_queries_never_crash(self, query):
+        from repro.ct import ALL_MONITORS
+
+        for monitor in ALL_MONITORS():
+            result = monitor.search(query)
+            assert result.refused or isinstance(result.matches, list)

@@ -1,0 +1,63 @@
+"""Tests for the black-box Table 6 and Table 14 matrix derivations."""
+
+from repro.threats.monitor_misleading import TABLE6_COLUMNS, derive_monitor_matrix
+from repro.threats.spoofing import TABLE14_COLUMNS, derive_browser_matrix
+
+
+class TestTable6Matrix:
+    def test_shape(self):
+        matrix = derive_monitor_matrix()
+        assert len(matrix) == 5
+        for features in matrix.values():
+            assert set(features) == set(TABLE6_COLUMNS)
+
+    def test_paper_cells(self):
+        matrix = derive_monitor_matrix()
+        # P1.1: everyone is case-insensitive.
+        assert all(f["case_insensitive"] for f in matrix.values())
+        # No monitor supports raw Unicode field search.
+        assert not any(f["unicode_search"] for f in matrix.values())
+        # Fuzzy search: only Crt.sh and MerkleMap.
+        assert matrix["Crt.sh"]["fuzzy_search"]
+        assert matrix["MerkleMap"]["fuzzy_search"]
+        assert not matrix["SSLMate Spotter"]["fuzzy_search"]
+        assert not matrix["Facebook Monitor"]["fuzzy_search"]
+        assert not matrix["Entrust Search"]["fuzzy_search"]
+        # U-label checks: SSLMate and Facebook only.
+        assert matrix["SSLMate Spotter"]["ulabel_check"]
+        assert matrix["Facebook Monitor"]["ulabel_check"]
+        assert not matrix["Crt.sh"]["ulabel_check"]
+        assert not matrix["Entrust Search"]["ulabel_check"]
+        assert not matrix["MerkleMap"]["ulabel_check"]
+        # Everyone handles Punycode; Entrust misses Punycode ccTLDs.
+        assert all(f["punycode_idn"] for f in matrix.values())
+        assert not matrix["Entrust Search"]["punycode_idn_cctld"]
+        # SSLMate fails to return certs with special Unicode.
+        assert matrix["SSLMate Spotter"]["fails_special_unicode"]
+        assert not matrix["Crt.sh"]["fails_special_unicode"]
+
+
+class TestTable14Matrix:
+    def test_shape(self):
+        matrix = derive_browser_matrix()
+        assert set(matrix) == {"Firefox", "Safari", "Chromium-based"}
+        for results in matrix.values():
+            assert set(results) == set(TABLE14_COLUMNS)
+
+    def test_paper_cells(self):
+        matrix = derive_browser_matrix()
+        # G1.1: layout controls are invisible in every browser.
+        assert not any(r["layout_controls_visible"] for r in matrix.values())
+        # C0/C1 controls leave some visible trace everywhere.
+        assert all(r["c0_c1_visible"] for r in matrix.values())
+        # G1.2: homographs feasible and substitutions incorrect everywhere.
+        assert all(r["homograph_feasible"] for r in matrix.values())
+        assert all(r["incorrect_substitution"] for r in matrix.values())
+        # Range checking: only Chromium-based applies it.
+        assert not matrix["Chromium-based"]["flawed_asn1_range_check"]
+        assert matrix["Firefox"]["flawed_asn1_range_check"]
+        assert matrix["Safari"]["flawed_asn1_range_check"]
+        # G1.3: warning spoofing works on Chromium and Firefox, not Safari.
+        assert matrix["Chromium-based"]["warning_spoof_feasible"]
+        assert matrix["Firefox"]["warning_spoof_feasible"]
+        assert not matrix["Safari"]["warning_spoof_feasible"]

@@ -1,0 +1,49 @@
+"""Tests for the Table 12/13 API registry."""
+
+from repro.tlslibs.apis import (
+    API_REGISTRY,
+    APIS_BY_LIBRARY,
+    check_profile_consistency,
+    support_matrix,
+)
+
+
+class TestRegistry:
+    def test_nine_libraries(self):
+        assert len(API_REGISTRY) == 9
+
+    def test_every_library_has_load_and_dn_apis(self):
+        for apis in API_REGISTRY:
+            assert apis.load
+            assert apis.subject and apis.issuer
+
+    def test_openssl_no_extension_apis(self):
+        # Table 13: the OpenSSL row is all "-".
+        matrix = support_matrix()
+        assert not any(matrix["OpenSSL"].values())
+
+    def test_bouncycastle_no_extension_apis(self):
+        matrix = support_matrix()
+        assert not any(matrix["BouncyCastle"].values())
+
+    def test_cryptography_supports_everything(self):
+        matrix = support_matrix()
+        assert all(matrix["Cryptography"].values())
+
+    def test_go_san_and_crldp_only(self):
+        matrix = support_matrix()
+        go = matrix["Golang Crypto"]
+        assert go["san"] and go["crldp"]
+        assert not go["ian"] and not go["aia"] and not go["sia"]
+
+    def test_paper_api_names(self):
+        assert "X509_NAME_oneline()" in APIS_BY_LIBRARY["OpenSSL"].subject
+        assert APIS_BY_LIBRARY["PyOpenSSL"].san == "str(get_extension())"
+        assert APIS_BY_LIBRARY["Node.js Crypto"].aia == "infoAccess"
+
+
+class TestConsistency:
+    def test_registry_matches_profiles(self):
+        # The documentation tables and the executable models must agree
+        # on every supported-field cell and version string.
+        assert check_profile_consistency() == []

@@ -1,0 +1,104 @@
+"""Tests for the from-scratch RFC 3492 Punycode implementation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.uni import PunycodeError, punycode
+
+# RFC 3492 Section 7.1 sample strings (subset) plus IDN examples.
+RFC_SAMPLES = [
+    # (unicode, punycode)
+    ("ünchen", "nchen-jva"),  # sanity: partial basic string
+    ("münchen", "mnchen-3ya"),
+    ("bücher", "bcher-kva"),
+    ("中国", "fiqs8s"),
+    ("中國", "fiqz9s"),
+    ("日本語", "wgv71a119e"),
+    ("한국", "3e0b707e"),
+    ("ελληνικά", "hxargifdar"),
+    ("россия", "h1alffa9f"),
+    ("königsgäßchen", "knigsgchen-b4a3dun"),
+    ("ليهمابتكلموشعربي؟", "egbpdaj6bu4bxfgehfvwxn"),
+]
+
+
+class TestEncode:
+    @pytest.mark.parametrize("unicode_text,expected", RFC_SAMPLES)
+    def test_known_vectors(self, unicode_text, expected):
+        assert punycode.encode(unicode_text) == expected
+
+    def test_pure_ascii(self):
+        # Pure-ASCII input yields the text plus a trailing delimiter.
+        assert punycode.encode("abc") == "abc-"
+
+    def test_empty(self):
+        assert punycode.encode("") == ""
+
+    def test_surrogate_rejected(self):
+        with pytest.raises(PunycodeError):
+            punycode.encode("\ud800")
+
+    def test_case_preserved_in_basic(self):
+        encoded = punycode.encode("München")
+        assert encoded.startswith("Mnchen-")
+
+
+class TestDecode:
+    @pytest.mark.parametrize("unicode_text,expected", RFC_SAMPLES)
+    def test_known_vectors(self, unicode_text, expected):
+        assert punycode.decode(expected) == unicode_text
+
+    def test_non_ascii_input_rejected(self):
+        with pytest.raises(PunycodeError):
+            punycode.decode("münchen")
+
+    def test_invalid_digit_rejected(self):
+        with pytest.raises(PunycodeError):
+            punycode.decode("abc-!!")
+
+    def test_truncated_integer_rejected(self):
+        # A trailing digit that starts but never ends an integer.
+        with pytest.raises(PunycodeError):
+            punycode.decode("abc-z")
+
+    def test_overflow_rejected(self):
+        with pytest.raises(PunycodeError):
+            punycode.decode("99999999999999999999a")
+
+    def test_malformed_examples_from_paper(self):
+        # The paper's F1 finding: syntactically valid xn-- labels whose
+        # payload cannot convert back to Unicode.
+        for payload in ("zzzzzzzzzz9999999999", "ab-c-d-9z"):
+            try:
+                punycode.decode(payload)
+            except PunycodeError:
+                pass  # Either outcome is fine; it must never crash.
+
+    def test_leading_delimiter(self):
+        # "-" alone has an empty basic part and no extended part.
+        assert punycode.decode("-") == ""
+
+
+class TestRoundtrip:
+    @given(st.text(alphabet=st.characters(blacklist_categories=("Cs",)), max_size=30))
+    def test_roundtrip_property(self, text):
+        assert punycode.decode(punycode.encode(text)) == text
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", max_size=24))
+    def test_decode_never_crashes_unexpectedly(self, text):
+        # Arbitrary LDH strings either decode or raise PunycodeError.
+        try:
+            decoded = punycode.decode(text)
+        except PunycodeError:
+            return
+        assert isinstance(decoded, str)
+
+    def test_insertion_order(self):
+        # Multiple non-basic chars interleaved with basic ones.
+        text = "aβcδe"
+        assert punycode.decode(punycode.encode(text)) == text
+
+    @given(st.text(alphabet=st.characters(blacklist_categories=("Cs",)), max_size=30))
+    def test_differential_against_stdlib(self, text):
+        # Python's built-in punycode codec is an independent oracle.
+        assert punycode.encode(text) == text.encode("punycode").decode("ascii")

@@ -1,0 +1,68 @@
+"""Tests for UTS #46 compatibility preprocessing."""
+
+import pytest
+
+from repro.uni.errors import IDNAError
+from repro.uni.uts46 import to_ascii, uts46_remap, uts46_violations
+
+
+class TestRemap:
+    def test_lowercasing(self):
+        assert uts46_remap("MÜNCHEN.DE") == "münchen.de"
+
+    def test_fullwidth_folding(self):
+        assert uts46_remap("ｅｘａｍｐｌｅ.com") == "example.com"
+
+    def test_ideographic_full_stop(self):
+        assert uts46_remap("例子。com") == "例子.com"
+
+    def test_ignored_codepoints_deleted(self):
+        assert uts46_remap("exam­ple.com") == "example.com"  # SOFT HYPHEN
+        assert uts46_remap("exam​ple.com") == "example.com"  # ZWSP
+
+    def test_ligature_folding(self):
+        assert uts46_remap("oﬃce.com") == "office.com"
+
+    def test_transitional_sharp_s(self):
+        assert uts46_remap("straße.de", transitional=True) == "strasse.de"
+        assert uts46_remap("straße.de", transitional=False) == "straße.de"
+
+    def test_transitional_zwj_deleted(self):
+        assert uts46_remap("a‍bc", transitional=True) == "abc"
+
+    def test_idempotent(self):
+        once = uts46_remap("ＭÜnchen。ＤＥ")
+        assert uts46_remap(once) == once
+
+
+class TestViolations:
+    def test_clean(self):
+        assert uts46_violations("münchen.de") == []
+
+    def test_space_disallowed(self):
+        assert uts46_violations("bad domain.com")
+
+    def test_control_disallowed(self):
+        assert uts46_violations("bad\x01.com")
+
+    def test_disallowed_symbol_in_label(self):
+        assert uts46_violations("smiley☺.com")
+
+
+class TestToASCII:
+    def test_basic(self):
+        assert to_ascii("MÜNCHEN.DE") == "xn--mnchen-3ya.de"
+
+    def test_ascii_passthrough(self):
+        assert to_ascii("plain.example.com") == "plain.example.com"
+
+    def test_fullwidth_to_ascii(self):
+        assert to_ascii("ｅｘａｍｐｌｅ.com") == "example.com"
+
+    def test_transitional_differs(self):
+        assert to_ascii("faß.de", transitional=True) == "fass.de"
+        assert to_ascii("faß.de", transitional=False).startswith("xn--")
+
+    def test_invalid_raises(self):
+        with pytest.raises(IDNAError):
+            to_ascii("bad domain.com")
