@@ -9,6 +9,7 @@ from .compliance import (
     encoding_error_analysis,
     issuer_involvement,
     lint_corpus,
+    summarize_corpus,
     top_lints,
 )
 from .issuers import IssuerRow, high_nc_rate_issuers, issuer_table, top_volume_share
@@ -41,6 +42,7 @@ __all__ = [
     "encoding_error_analysis",
     "issuer_involvement",
     "lint_corpus",
+    "summarize_corpus",
     "top_lints",
     "IssuerRow",
     "issuer_table",

@@ -11,16 +11,36 @@ import datetime as _dt
 from dataclasses import dataclass, field
 
 from ..ct.corpus import ANALYSIS_DATE, Corpus, CorpusRecord, TrustStatus
-from ..lint import CertificateReport, NoncomplianceType, REGISTRY, run_lints
+from ..lint import CertificateReport, CorpusSummary, NoncomplianceType, REGISTRY, run_lints
 from ..lint.framework import LintStatus
 
 
-def lint_corpus(corpus: Corpus) -> list[CertificateReport]:
-    """Run the full lint registry over every corpus record."""
-    return [
-        run_lints(record.certificate, issued_at=record.issued_at)
-        for record in corpus.records
-    ]
+def lint_corpus(corpus: Corpus, jobs: int | None = 1) -> list[CertificateReport]:
+    """Run the full lint registry over every corpus record.
+
+    ``jobs=1`` (the default, preserving the historical signature) lints
+    in-process; ``jobs=None`` (all CPUs) or ``jobs > 1`` routes through
+    the sharded pipeline in :mod:`repro.lint.parallel`.  Reports come
+    back in corpus order either way and are identical across job counts.
+    """
+    if jobs == 1:
+        lints = REGISTRY.snapshot()
+        return [
+            run_lints(record.certificate, issued_at=record.issued_at, lints=lints)
+            for record in corpus.records
+        ]
+    from ..lint.parallel import lint_corpus_parallel
+
+    outcome = lint_corpus_parallel(corpus, jobs, collect_reports=True)
+    return outcome.reports or []
+
+
+def summarize_corpus(corpus: Corpus, jobs: int | None = None) -> CorpusSummary:
+    """Merged corpus summary via the sharded pipeline (all CPUs by
+    default); exact for every job count."""
+    from ..lint.parallel import summarize_corpus_parallel
+
+    return summarize_corpus_parallel(corpus, jobs)
 
 
 @dataclass

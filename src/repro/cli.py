@@ -5,8 +5,9 @@ Commands:
 * ``lint <file> [--ignore-effective-dates]`` — lint a PEM/DER
   certificate with the 95 Unicert rules and print the findings.
 * ``rules [--new-only] [--type TYPE]`` — list the constraint rules.
-* ``corpus [--scale S] [--seed N]`` — generate a calibrated corpus and
-  print the Table 1-style compliance landscape.
+* ``corpus [--scale S] [--seed N] [--jobs N]`` — generate a calibrated
+  corpus and print the Table 1-style compliance landscape, linting with
+  ``N`` worker processes (default: all CPUs; exact for every ``N``).
 * ``differential`` — print the derived Table 4/5 parser matrices.
 """
 
@@ -84,7 +85,10 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
         print(f"exported corpus to {root}")
     print(f"generated {len(corpus.records)} Unicerts "
           f"({len(corpus.by_issuer())} issuer organizations)")
-    reports = lint_corpus(corpus)
+    # The sharded pipeline is exact, so the printed landscape below is
+    # byte-identical for every --jobs value (tested; do not print the
+    # job count itself here, or that guarantee breaks across machines).
+    reports = lint_corpus(corpus, jobs=args.jobs)
     table = build_table1(corpus, reports)
     print(f"noncompliant: {table.nc_certs} ({table.nc_rate:.2%})")
     print(f"trusted share: {table.trusted_share:.1%}")
@@ -148,6 +152,13 @@ def build_parser() -> argparse.ArgumentParser:
     corpus.add_argument("--seed", type=int, default=2025)
     corpus.add_argument("--top", type=int, default=10)
     corpus.add_argument("--export", help="write the corpus dataset to a directory")
+    corpus.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="lint worker processes (default: os.cpu_count(); "
+        "output is identical for every value)",
+    )
     corpus.set_defaults(func=_cmd_corpus)
 
     diff = sub.add_parser("differential", help="derive the parser matrices")

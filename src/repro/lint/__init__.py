@@ -38,7 +38,16 @@ from . import encoding  # noqa: F401  (T3 Invalid Encoding)
 from . import structure  # noqa: F401  (T3 Invalid Structure / Discouraged)
 
 from .runner import CertificateReport, CorpusSummary, run_lints, summarize
-from .serialization import report_to_dict, report_to_json, summary_to_dict
+from .parallel import (
+    ParallelLintOutcome,
+    ShardError,
+    ShardResult,
+    ShardTask,
+    lint_corpus_parallel,
+    shard_bounds,
+    summarize_corpus_parallel,
+)
+from .serialization import report_to_dict, report_to_json, summary_to_dict, summary_to_json
 from .constraints import CONSTRAINT_RULES, ConstraintRule, rules_for_lint
 from .rfc_analyzer import (
     SPEC_LIBRARY,
@@ -51,6 +60,14 @@ __all__ = [
     "report_to_dict",
     "report_to_json",
     "summary_to_dict",
+    "summary_to_json",
+    "ParallelLintOutcome",
+    "ShardError",
+    "ShardResult",
+    "ShardTask",
+    "lint_corpus_parallel",
+    "shard_bounds",
+    "summarize_corpus_parallel",
     "REGISTRY",
     "Lint",
     "LintMetadata",

@@ -74,6 +74,21 @@ class LintStatus(enum.Enum):
         return self in (LintStatus.ERROR, LintStatus.WARN)
 
 
+def to_utc_naive(value: _dt.datetime) -> _dt.datetime:
+    """Normalize a datetime to UTC-naive for effective-date comparisons.
+
+    Effective dates are stored naive (implicitly UTC).  Callers hand us
+    ``issued_at`` values from heterogeneous sources — CT log timestamps
+    are often timezone-aware while builder-produced ``not_before`` values
+    are naive — and Python refuses to compare the two.  Projecting aware
+    values onto UTC and dropping the tzinfo makes every comparison legal
+    and keeps naive inputs bit-identical.
+    """
+    if value.tzinfo is not None:
+        return value.astimezone(_dt.timezone.utc).replace(tzinfo=None)
+    return value
+
+
 #: Effective dates of the standards the lints cite.
 RFC5280_DATE = _dt.datetime(2008, 5, 19)
 RFC6818_DATE = _dt.datetime(2013, 1, 1)
@@ -142,7 +157,7 @@ class Lint(abc.ABC):
         compliant, details = self.check(cert)
         if compliant:
             return LintResult(self.metadata, LintStatus.PASS)
-        when = issued_at or cert.not_before
+        when = to_utc_naive(issued_at if issued_at is not None else cert.not_before)
         if respect_effective_date and when < self.metadata.effective_date:
             return LintResult(self.metadata, LintStatus.NOT_EFFECTIVE, details)
         status = (
@@ -169,16 +184,26 @@ class FunctionLint(Lint):
 
 
 class LintRegistry:
-    """Global registry of lints, keyed by name."""
+    """Global registry of lints, keyed by name.
+
+    The registry is write-once-then-read-hot: all registration happens
+    during ``repro.lint`` import, after which the lint runner asks for
+    the full lint list once per certificate.  :meth:`snapshot` serves
+    that read path from a cached tuple that is invalidated whenever a
+    new lint is registered, so resolving the registry costs a single
+    attribute load instead of a fresh dict-to-list copy per call.
+    """
 
     def __init__(self):
         self._lints: dict[str, Lint] = {}
+        self._snapshot: tuple[Lint, ...] | None = None
 
     def register(self, lint: Lint) -> Lint:
         name = lint.metadata.name
         if name in self._lints:
             raise ValueError(f"duplicate lint name {name!r}")
         self._lints[name] = lint
+        self._snapshot = None
         return lint
 
     def get(self, name: str) -> Lint:
@@ -190,8 +215,14 @@ class LintRegistry:
     def __len__(self) -> int:
         return len(self._lints)
 
+    def snapshot(self) -> tuple[Lint, ...]:
+        """The registered lints as a cached, registration-ordered tuple."""
+        if self._snapshot is None:
+            self._snapshot = tuple(self._lints.values())
+        return self._snapshot
+
     def all(self) -> list[Lint]:
-        return list(self._lints.values())
+        return list(self.snapshot())
 
     def by_type(self, nc_type: NoncomplianceType) -> list[Lint]:
         return [l for l in self._lints.values() if l.metadata.nc_type is nc_type]

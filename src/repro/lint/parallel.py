@@ -1,0 +1,301 @@
+"""Sharded, multiprocessing corpus lint pipeline.
+
+The paper's headline tables are counting analyses over tens of millions
+of certificates; linting them one at a time on one core does not scale.
+This module adopts the shape used by bulk X.509 measurement tooling
+(ParsEval's sharded evaluation, CT-ecosystem log processing): the corpus
+is split into deterministic contiguous shards, each shard is linted in a
+worker process, and the workers stream per-shard
+:class:`~repro.lint.runner.CorpusSummary` objects back to the parent,
+which folds them together with :meth:`CorpusSummary.merge` — an *exact*
+aggregation, so ``--jobs N`` output is byte-identical to ``--jobs 1``.
+
+Design points:
+
+* **Deterministic sharding.**  :func:`shard_bounds` partitions ``n``
+  records into contiguous near-equal ranges.  Shard membership depends
+  only on ``(len(corpus), shards)``, never on worker scheduling.
+* **DER across the process boundary.**  Workers receive certificates as
+  DER bytes plus the issuance timestamp, not live objects: DER is the
+  canonical wire form, cheap to pickle, and re-parsing it in the worker
+  exercises exactly the tolerant parser the linter targets.  Builder
+  certificates keep their original bytes (``Certificate.raw``), so the
+  round trip is lossless.
+* **Registry resolved once per worker.**  Each worker resolves
+  ``REGISTRY.snapshot()`` a single time and reuses the tuple for every
+  certificate in every shard it processes, instead of re-resolving per
+  certificate.
+* **Crash containment.**  A shard that raises is caught *inside* the
+  worker and reported as a structured failure; the parent raises
+  :class:`ShardError` with the shard index and the worker traceback
+  rather than hanging on a dead pool.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import multiprocessing as _mp
+import os
+import traceback
+from dataclasses import dataclass, field
+
+from .framework import REGISTRY, Lint
+from .runner import CertificateReport, CorpusSummary, run_lints
+
+#: Default over-decomposition factor: more shards than workers keeps the
+#: pool busy when shard lint costs are skewed (certificates with many
+#: applicable lints cluster by issuer, and issuers cluster in the
+#: corpus).  4x is the classic work-stealing heuristic.
+SHARDS_PER_JOB = 4
+
+#: Floor on shard size: below this, per-shard IPC overhead (pickling the
+#: task and the summary) dominates the lint work itself.
+MIN_SHARD_SIZE = 64
+
+
+class ShardError(RuntimeError):
+    """A worker failed while linting one shard."""
+
+    def __init__(self, index: int, message: str):
+        super().__init__(
+            f"shard {index} failed in the parallel lint pipeline: {message}"
+        )
+        self.index = index
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One unit of worker input: a contiguous slice of the corpus."""
+
+    index: int
+    certs_der: tuple[bytes, ...]
+    issued_at: tuple[_dt.datetime | None, ...]
+    respect_effective_dates: bool = True
+    collect_reports: bool = False
+
+
+@dataclass
+class ShardResult:
+    """One unit of worker output: the shard's exact summary."""
+
+    index: int
+    count: int
+    summary: CorpusSummary = field(default_factory=CorpusSummary)
+    reports: list[CertificateReport] | None = None
+    error: str | None = None
+
+
+@dataclass
+class ParallelLintOutcome:
+    """What the pipeline hands back to callers."""
+
+    summary: CorpusSummary
+    reports: list[CertificateReport] | None
+    jobs: int
+    shards: int
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value; ``None``/0 means all CPUs."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def shard_bounds(total: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``total`` items into ``shards`` contiguous ``(start, stop)``
+    ranges, each of size ``total // shards`` or one more.
+
+    Deterministic in ``(total, shards)`` alone; empty ranges are never
+    produced (fewer shards are returned when ``shards > total``).
+    """
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if shards <= 0:
+        raise ValueError(f"shards must be positive, got {shards}")
+    if total == 0:
+        return []
+    shards = min(shards, total)
+    base, extra = divmod(total, shards)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for i in range(shards):
+        stop = start + base + (1 if i < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def default_shard_count(total: int, jobs: int) -> int:
+    """Shard-count heuristic: ``jobs * SHARDS_PER_JOB``, clamped so no
+    shard falls below :data:`MIN_SHARD_SIZE` records (and never more
+    shards than records)."""
+    if total == 0:
+        return 0
+    by_parallelism = jobs * SHARDS_PER_JOB
+    by_size = max(1, total // MIN_SHARD_SIZE)
+    return max(1, min(by_parallelism, by_size, total))
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+#: Per-worker-process cache of the resolved registry, so each worker
+#: resolves the lint list once, not once per certificate.
+_WORKER_LINTS: tuple[Lint, ...] | None = None
+
+
+def _worker_lints() -> tuple[Lint, ...]:
+    global _WORKER_LINTS
+    if _WORKER_LINTS is None:
+        _WORKER_LINTS = REGISTRY.snapshot()
+    return _WORKER_LINTS
+
+
+def lint_shard(task: ShardTask) -> ShardResult:
+    """Lint one shard; never raises — failures come back structured.
+
+    Runs in a worker process (or inline for ``jobs=1``).  Certificates
+    arrive as DER, are re-parsed with the tolerant parser, linted with
+    the worker-cached registry snapshot, and folded into a per-shard
+    :class:`CorpusSummary`.
+    """
+    from ..x509 import Certificate
+
+    result = ShardResult(index=task.index, count=len(task.certs_der))
+    reports: list[CertificateReport] | None = (
+        [] if task.collect_reports else None
+    )
+    try:
+        lints = _worker_lints()
+        for der, issued_at in zip(task.certs_der, task.issued_at):
+            cert = Certificate.from_der(der)
+            report = run_lints(
+                cert,
+                issued_at=issued_at,
+                lints=lints,
+                respect_effective_dates=task.respect_effective_dates,
+            )
+            result.summary.add(report)
+            if reports is not None:
+                reports.append(report)
+    except Exception as exc:
+        result.error = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+        result.reports = None
+        return result
+    result.reports = reports
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+def _records_of(corpus) -> list:
+    """Accept a :class:`repro.ct.corpus.Corpus` or a plain record list."""
+    return list(getattr(corpus, "records", corpus))
+
+
+def build_shard_tasks(
+    corpus,
+    shards: int,
+    respect_effective_dates: bool = True,
+    collect_reports: bool = False,
+) -> list[ShardTask]:
+    """Serialize a corpus into deterministic per-shard worker tasks."""
+    records = _records_of(corpus)
+    tasks: list[ShardTask] = []
+    for index, (start, stop) in enumerate(shard_bounds(len(records), shards)):
+        chunk = records[start:stop]
+        tasks.append(
+            ShardTask(
+                index=index,
+                certs_der=tuple(r.certificate.to_der() for r in chunk),
+                issued_at=tuple(r.issued_at for r in chunk),
+                respect_effective_dates=respect_effective_dates,
+                collect_reports=collect_reports,
+            )
+        )
+    return tasks
+
+
+def _mp_context():
+    """Prefer fork (cheap on Linux, registry inherited pre-populated);
+    fall back to spawn where fork is unavailable.  Spawned workers
+    repopulate the registry by importing this module's package."""
+    methods = _mp.get_all_start_methods()
+    return _mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _merge_results(
+    results: list[ShardResult], jobs: int, collect_reports: bool
+) -> ParallelLintOutcome:
+    results.sort(key=lambda r: r.index)
+    summary = CorpusSummary.merged(r.summary for r in results)
+    reports: list[CertificateReport] | None = None
+    if collect_reports:
+        reports = []
+        for shard in results:
+            reports.extend(shard.reports or [])
+    return ParallelLintOutcome(
+        summary=summary, reports=reports, jobs=jobs, shards=len(results)
+    )
+
+
+def lint_corpus_parallel(
+    corpus,
+    jobs: int | None = None,
+    *,
+    shards: int | None = None,
+    respect_effective_dates: bool = True,
+    collect_reports: bool = False,
+) -> ParallelLintOutcome:
+    """Lint a corpus with ``jobs`` worker processes and merge exactly.
+
+    ``jobs=None`` uses every CPU; ``jobs=1`` runs the identical shard
+    path inline (no pool), which is what makes the determinism guarantee
+    testable: every job count executes the same serialize → parse →
+    lint → summarize → merge sequence over the same shard boundaries.
+
+    Raises :class:`ShardError` as soon as any shard reports a failure.
+    """
+    records = _records_of(corpus)
+    jobs = resolve_jobs(jobs)
+    if not records:
+        return _merge_results([], jobs, collect_reports)
+    if shards is None:
+        shards = default_shard_count(len(records), jobs)
+    tasks = build_shard_tasks(
+        corpus,
+        shards,
+        respect_effective_dates=respect_effective_dates,
+        collect_reports=collect_reports,
+    )
+    results: list[ShardResult] = []
+    if jobs == 1 or len(tasks) <= 1:
+        for task in tasks:
+            result = lint_shard(task)
+            if result.error:
+                raise ShardError(result.index, result.error)
+            results.append(result)
+        return _merge_results(results, 1, collect_reports)
+    ctx = _mp_context()
+    with ctx.Pool(processes=min(jobs, len(tasks))) as pool:
+        # imap_unordered streams results back as shards finish; the
+        # parent fails fast on the first structured error instead of
+        # waiting for the stragglers.
+        for result in pool.imap_unordered(lint_shard, tasks):
+            if result.error:
+                pool.terminate()
+                raise ShardError(result.index, result.error)
+            results.append(result)
+    return _merge_results(results, jobs, collect_reports)
+
+
+def summarize_corpus_parallel(
+    corpus, jobs: int | None = None, **kwargs
+) -> CorpusSummary:
+    """Convenience wrapper returning only the merged summary."""
+    return lint_corpus_parallel(corpus, jobs, **kwargs).summary

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import datetime as _dt
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 from ..x509 import Certificate
 from .framework import (
@@ -64,12 +65,12 @@ class CertificateReport:
 def run_lints(
     cert: Certificate,
     issued_at: _dt.datetime | None = None,
-    lints: list[Lint] | None = None,
+    lints: Sequence[Lint] | None = None,
     respect_effective_dates: bool = True,
 ) -> CertificateReport:
     """Run every lint (or a subset) against one certificate."""
     report = CertificateReport()
-    for lint in lints if lints is not None else REGISTRY.all():
+    for lint in lints if lints is not None else REGISTRY.snapshot():
         result = lint.run(
             cert,
             issued_at=issued_at,
@@ -82,7 +83,15 @@ def run_lints(
 
 @dataclass
 class CorpusSummary:
-    """Aggregate lint statistics over a corpus (feeds Tables 1/11)."""
+    """Aggregate lint statistics over a corpus (feeds Tables 1/11).
+
+    Every counter counts *certificates*, never findings: a certificate
+    that triggers the same lint twice (e.g. in two subject attributes)
+    contributes one to that lint's ``per_lint`` cell.  All counters are
+    plain sums, which makes :meth:`merge` an exact aggregation — merging
+    per-shard summaries in any grouping or order yields byte-identical
+    results to sequentially :meth:`add`-ing every report.
+    """
 
     total: int = 0
     noncompliant: int = 0
@@ -93,29 +102,110 @@ class CorpusSummary:
     warn_level: dict[NoncomplianceType, int] = field(default_factory=dict)
 
     def add(self, report: CertificateReport) -> None:
+        """Fold one certificate's report into the summary.
+
+        Per-certificate deduplication is explicit: each distinct lint
+        name / noncompliance type is counted at most once per report,
+        regardless of how many findings carry it.
+        """
         self.total += 1
         if report.noncompliant:
             self.noncompliant += 1
         if report.noncompliant_ignoring_dates:
             self.noncompliant_ignoring_dates += 1
-        for name in set(report.fired_lints()):
+        fired_names: set[str] = set()
+        fired_types: set[NoncomplianceType] = set()
+        error_types: set[NoncomplianceType] = set()
+        warn_types: set[NoncomplianceType] = set()
+        for result in report.findings:
+            fired_names.add(result.lint.name)
+            fired_types.add(result.lint.nc_type)
+            if result.status is LintStatus.ERROR:
+                error_types.add(result.lint.nc_type)
+            else:
+                warn_types.add(result.lint.nc_type)
+        # Sorted iteration keeps dict insertion order deterministic, so
+        # two summaries over the same corpus compare equal structurally
+        # no matter how certificates were sharded.
+        for name in sorted(fired_names):
             self.per_lint[name] = self.per_lint.get(name, 0) + 1
-        for nc_type in report.types():
+        for nc_type in _sorted_types(fired_types):
             self.per_type[nc_type] = self.per_type.get(nc_type, 0) + 1
-        error_types = {r.lint.nc_type for r in report.errors}
-        warn_types = {r.lint.nc_type for r in report.warnings}
-        for nc_type in error_types:
+        for nc_type in _sorted_types(error_types):
             self.error_level[nc_type] = self.error_level.get(nc_type, 0) + 1
-        for nc_type in warn_types:
+        for nc_type in _sorted_types(warn_types):
             self.warn_level[nc_type] = self.warn_level.get(nc_type, 0) + 1
 
+    def merge(self, other: "CorpusSummary") -> "CorpusSummary":
+        """Fold another summary into this one (exact, in place).
+
+        Merging is commutative and associative up to dict key order;
+        key order itself is canonicalized so that any shard grouping
+        produces a structurally identical summary.  Returns ``self``
+        for chaining/``reduce``.
+        """
+        self.total += other.total
+        self.noncompliant += other.noncompliant
+        self.noncompliant_ignoring_dates += other.noncompliant_ignoring_dates
+        for name in sorted(other.per_lint):
+            self.per_lint[name] = self.per_lint.get(name, 0) + other.per_lint[name]
+        for target, source in (
+            (self.per_type, other.per_type),
+            (self.error_level, other.error_level),
+            (self.warn_level, other.warn_level),
+        ):
+            for nc_type in _sorted_types(source):
+                target[nc_type] = target.get(nc_type, 0) + source[nc_type]
+        self._canonicalize()
+        return self
+
+    def _canonicalize(self) -> None:
+        """Rebuild counter dicts in sorted key order.
+
+        ``add`` inserts keys in first-seen order, which depends on which
+        certificate a shard saw first.  Sorting after a merge erases that
+        history so ``--jobs N`` output is byte-identical to ``--jobs 1``.
+        """
+        self.per_lint = dict(sorted(self.per_lint.items()))
+        self.per_type = dict(sorted(self.per_type.items(), key=lambda kv: kv[0].value))
+        self.error_level = dict(sorted(self.error_level.items(), key=lambda kv: kv[0].value))
+        self.warn_level = dict(sorted(self.warn_level.items(), key=lambda kv: kv[0].value))
+
+    @classmethod
+    def merged(cls, summaries: Iterable["CorpusSummary"]) -> "CorpusSummary":
+        """Exact aggregation of many (per-shard) summaries."""
+        merged = cls()
+        for summary in summaries:
+            merged.merge(summary)
+        return merged
+
+    @classmethod
+    def from_reports(cls, reports: Iterable[CertificateReport]) -> "CorpusSummary":
+        """Stream per-certificate reports into a fresh summary."""
+        summary = cls()
+        for report in reports:
+            summary.add(report)
+        summary._canonicalize()
+        return summary
+
     def top_lints(self, count: int = 25) -> list[tuple[str, int]]:
+        """Lints ranked by certificate count.
+
+        Ties break on ascending lint name, which is a *total* order:
+        merged and sequentially built summaries rank identically even
+        when several lints share a count.
+        """
         return sorted(self.per_lint.items(), key=lambda kv: (-kv[1], kv[0]))[:count]
 
 
-def summarize(reports: list[CertificateReport]) -> CorpusSummary:
-    """Aggregate many per-certificate reports into one summary."""
-    summary = CorpusSummary()
-    for report in reports:
-        summary.add(report)
-    return summary
+def _sorted_types(types: Iterable[NoncomplianceType]) -> list[NoncomplianceType]:
+    return sorted(types, key=lambda t: t.value)
+
+
+def summarize(reports: Iterable[CertificateReport]) -> CorpusSummary:
+    """Aggregate many per-certificate reports into one summary.
+
+    Thin wrapper over the streaming path used by the sharded pipeline
+    (:mod:`repro.lint.parallel`); both produce identical summaries.
+    """
+    return CorpusSummary.from_reports(reports)

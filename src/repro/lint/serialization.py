@@ -76,4 +76,18 @@ def summary_to_dict(summary: CorpusSummary) -> dict[str, Any]:
         "noncompliant_ignoring_effective_dates": summary.noncompliant_ignoring_dates,
         "per_lint": dict(sorted(summary.per_lint.items())),
         "per_type": {t.value: n for t, n in sorted(summary.per_type.items(), key=lambda kv: kv[0].value)},
+        "error_level": {t.value: n for t, n in sorted(summary.error_level.items(), key=lambda kv: kv[0].value)},
+        "warn_level": {t.value: n for t, n in sorted(summary.warn_level.items(), key=lambda kv: kv[0].value)},
     }
+
+
+def summary_to_json(summary: CorpusSummary, indent: int | None = None) -> str:
+    """Canonical JSON form of a summary (stable key order).
+
+    Two summaries over the same corpus serialize byte-identically here
+    regardless of how the corpus was sharded — this is the form the
+    determinism tests and the parallel benchmark compare.
+    """
+    return json.dumps(
+        summary_to_dict(summary), indent=indent, ensure_ascii=False, sort_keys=True
+    )

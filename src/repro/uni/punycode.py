@@ -55,7 +55,15 @@ def _adapt(delta: int, numpoints: int, firsttime: bool) -> int:
 
 
 def encode(text: str) -> str:
-    """Encode ``text`` to its Punycode form (without the ``xn--`` prefix)."""
+    """Encode ``text`` to its Punycode form (without the ``xn--`` prefix).
+
+    Edge cases pinned down by tests: ``encode("") == ""`` (no spurious
+    delimiter), and an all-basic input comes back verbatim plus one
+    trailing delimiter (RFC 3492 §3.1: the delimiter is emitted whenever
+    the basic string is nonempty, even if nothing follows it).
+    """
+    if not text:
+        return ""
     for ch in text:
         if 0xD800 <= ord(ch) <= 0xDFFF:
             raise PunycodeError(f"surrogate U+{ord(ch):04X} cannot be encoded")
@@ -68,9 +76,11 @@ def encode(text: str) -> str:
     bias = INITIAL_BIAS
     while handled < len(text):
         m = min(ord(ch) for ch in text if ord(ch) >= n)
-        delta += (m - n) * (handled + 1)
-        if delta > _MAXINT:
+        # RFC 3492 §6.4 overflow guard, applied *before* the arithmetic
+        # like the reference encoder: delta would exceed maxint.
+        if m - n > (_MAXINT - delta) // (handled + 1):
             raise PunycodeError("overflow while encoding")
+        delta += (m - n) * (handled + 1)
         n = m
         for ch in text:
             cp = ord(ch)
@@ -110,9 +120,15 @@ def decode(text: str) -> str:
     points outside the Unicode range.  These are precisely the "A-label
     cannot be converted to a U-label" failures the paper measures.
     """
+    if not text:
+        return ""
     for ch in text:
         if ord(ch) >= INITIAL_N:
             raise PunycodeError(f"non-ASCII character {ch!r} in Punycode input")
+    # RFC 3492 §3.1: the basic string is everything before the *last*
+    # delimiter, if any delimiter is present.  A delimiter at position 0
+    # ("-abc") delimits an empty basic string, and a lone trailing
+    # delimiter ("abc-") marks an empty extended part.
     last_delim = text.rfind(DELIMITER)
     if last_delim > 0:
         output = list(text[:last_delim])
@@ -132,9 +148,11 @@ def decode(text: str) -> str:
                 raise PunycodeError("truncated variable-length integer")
             digit = _decode_digit(text[pos])
             pos += 1
-            i += digit * w
-            if i > _MAXINT:
+            # RFC 3492 §6.4: guard each accumulation *before* it happens
+            # so i and w never exceed maxint even transiently.
+            if digit > (_MAXINT - i) // w:
                 raise PunycodeError("overflow while decoding")
+            i += digit * w
             if k <= bias:
                 t = TMIN
             elif k >= bias + TMAX:
@@ -143,12 +161,14 @@ def decode(text: str) -> str:
                 t = k - bias
             if digit < t:
                 break
-            w *= BASE - t
-            if w > _MAXINT:
+            if w > _MAXINT // (BASE - t):
                 raise PunycodeError("overflow while decoding")
+            w *= BASE - t
             k += BASE
         count = len(output) + 1
         bias = _adapt(i - old_i, count, old_i == 0)
+        if i // count > _MAXINT - n:
+            raise PunycodeError("overflow while decoding")
         n += i // count
         if n > 0x10FFFF:
             raise PunycodeError(f"code point {n:#x} outside Unicode range")

@@ -189,3 +189,60 @@ class TestRunner:
         names = {r.lint.name for r in report.results}
         # No CRLDP on the clean cert, so its lints must not appear.
         assert "e_crldp_uri_contains_control_characters" not in names
+
+
+class TestEffectiveDateTimezones:
+    """Mixed naive/aware ``issued_at`` values must not raise; aware
+    values are projected onto UTC-naive at the boundary."""
+
+    def _nosan_cert(self, when):
+        return (
+            CertificateBuilder()
+            .subject_cn("tz.example.com")
+            .not_before(when)
+            .validity_days(365)
+            .sign(KEY)
+        )
+
+    def test_aware_issued_at_does_not_raise(self):
+        cert = self._nosan_cert(dt.datetime(2020, 1, 1))
+        aware = dt.datetime(2020, 1, 1, tzinfo=dt.timezone.utc)
+        report = run_lints(cert, issued_at=aware)
+        assert "w_cab_subject_common_name_not_in_san" in report.fired_lints()
+
+    def test_aware_and_naive_agree(self):
+        cert = self._nosan_cert(dt.datetime(2009, 6, 1))
+        naive = dt.datetime(2009, 6, 1)
+        aware = dt.datetime(2009, 6, 1, tzinfo=dt.timezone.utc)
+        naive_report = run_lints(cert, issued_at=naive)
+        aware_report = run_lints(cert, issued_at=aware)
+        assert [(r.lint.name, r.status) for r in naive_report.results] == [
+            (r.lint.name, r.status) for r in aware_report.results
+        ]
+
+    def test_aware_suppression_before_effective_date(self):
+        cert = self._nosan_cert(dt.datetime(2009, 1, 1))
+        aware = dt.datetime(2009, 1, 1, tzinfo=dt.timezone.utc)
+        report = run_lints(cert, issued_at=aware)
+        suppressed = [r.lint.name for r in report.suppressed_by_effective_date]
+        assert "w_cab_subject_common_name_not_in_san" in suppressed
+
+    def test_offset_projection_crosses_effective_date(self):
+        # 2012-07-01 03:00 at +07:00 is 2012-06-30 20:00 UTC — still
+        # *before* the CABF BR effective date once projected.
+        cert = self._nosan_cert(dt.datetime(2012, 6, 1))
+        east = dt.timezone(dt.timedelta(hours=7))
+        aware = dt.datetime(2012, 7, 1, 3, 0, tzinfo=east)
+        report = run_lints(cert, issued_at=aware)
+        suppressed = [r.lint.name for r in report.suppressed_by_effective_date]
+        assert "w_cab_subject_common_name_not_in_san" in suppressed
+
+    def test_to_utc_naive_helper(self):
+        from repro.lint.framework import to_utc_naive
+
+        naive = dt.datetime(2024, 5, 1, 12, 0)
+        assert to_utc_naive(naive) is naive
+        east = dt.timezone(dt.timedelta(hours=2))
+        aware = dt.datetime(2024, 5, 1, 12, 0, tzinfo=east)
+        assert to_utc_naive(aware) == dt.datetime(2024, 5, 1, 10, 0)
+        assert to_utc_naive(aware).tzinfo is None

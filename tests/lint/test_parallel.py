@@ -1,0 +1,263 @@
+"""Tests for the sharded parallel corpus-lint pipeline.
+
+Covers the determinism guarantee (``--jobs N`` byte-identical to
+``--jobs 1`` and to the classic sequential path), exact-merge algebra
+(commutativity/associativity), deterministic sharding, worker-crash
+surfacing, and the per-worker registry cache.
+"""
+
+import datetime as dt
+import json
+
+import pytest
+
+from repro.ct import CorpusGenerator
+from repro.lint import (
+    CorpusSummary,
+    REGISTRY,
+    ShardError,
+    lint_corpus_parallel,
+    run_lints,
+    shard_bounds,
+    summarize,
+    summarize_corpus_parallel,
+    summary_to_json,
+)
+from repro.lint.framework import LintRegistry
+from repro.lint.parallel import (
+    MIN_SHARD_SIZE,
+    build_shard_tasks,
+    default_shard_count,
+    lint_shard,
+    resolve_jobs,
+)
+from repro.lint.serialization import report_to_dict
+from repro.x509 import CertificateBuilder, GeneralName, generate_keypair, subject_alt_name
+
+KEY = generate_keypair(seed=77)
+WHEN = dt.datetime(2024, 4, 1)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    # ~170 records: enough to exercise multiple shards, small enough to
+    # lint three times in a few seconds.
+    return CorpusGenerator(seed=11, scale=1 / 200000).generate()
+
+
+def _cert(cn, san=None):
+    builder = CertificateBuilder().subject_cn(cn).not_before(WHEN)
+    builder.add_extension(subject_alt_name(GeneralName.dns(san or cn)))
+    return builder.sign(KEY)
+
+
+class TestShardBounds:
+    def test_partition_covers_everything_contiguously(self):
+        for total in (0, 1, 5, 64, 1000, 1001):
+            for shards in (1, 2, 3, 7, 16):
+                bounds = shard_bounds(total, shards)
+                flat = [i for start, stop in bounds for i in range(start, stop)]
+                assert flat == list(range(total))
+
+    def test_near_equal_sizes(self):
+        bounds = shard_bounds(10, 3)
+        sizes = [stop - start for start, stop in bounds]
+        assert sizes == [4, 3, 3]
+
+    def test_never_produces_empty_shards(self):
+        assert len(shard_bounds(3, 16)) == 3
+        assert shard_bounds(0, 4) == []
+
+    def test_deterministic(self):
+        assert shard_bounds(1000, 7) == shard_bounds(1000, 7)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            shard_bounds(10, 0)
+        with pytest.raises(ValueError):
+            shard_bounds(-1, 4)
+
+    def test_default_shard_count_respects_min_size(self):
+        # 100 records at 8 jobs would mean 32 shards of ~3 certs; the
+        # heuristic clamps to keep shards at least MIN_SHARD_SIZE.
+        assert default_shard_count(100, 8) <= max(1, 100 // MIN_SHARD_SIZE)
+        assert default_shard_count(0, 8) == 0
+        assert default_shard_count(10_000, 4) == 16
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1
+
+
+class TestMergeAlgebra:
+    def _summaries(self):
+        reports = [
+            [run_lints(_cert("clean.example.com"))],
+            [run_lints(_cert("bad\x00.example.com"))] * 2,
+            [run_lints(_cert("ok.example.org")), run_lints(_cert("x\x00y.example.net"))],
+        ]
+        return [summarize(r) for r in reports]
+
+    def test_merge_commutative(self):
+        a1, b1, _ = self._summaries()
+        a2, b2, _ = self._summaries()
+        ab = CorpusSummary.merged([a1, b1])
+        ba = CorpusSummary.merged([b2, a2])
+        assert ab == ba
+        assert summary_to_json(ab) == summary_to_json(ba)
+
+    def test_merge_associative(self):
+        a, b, c = self._summaries()
+        a2, b2, c2 = self._summaries()
+        left = CorpusSummary.merged([CorpusSummary.merged([a, b]), c])
+        right = CorpusSummary.merged([a2, CorpusSummary.merged([b2, c2])])
+        assert left == right
+        assert summary_to_json(left) == summary_to_json(right)
+
+    def test_merge_identity(self):
+        a, _, _ = self._summaries()
+        a2, _, _ = self._summaries()
+        assert CorpusSummary().merge(a) == a2
+
+    def test_merge_equals_streaming(self):
+        reports = [
+            run_lints(_cert("clean.example.com")),
+            run_lints(_cert("bad\x00.example.com")),
+            run_lints(_cert("also\x00bad.example.com")),
+        ]
+        whole = summarize(reports)
+        sharded = CorpusSummary.merged(
+            [summarize(reports[:1]), summarize(reports[1:])]
+        )
+        assert whole == sharded
+        assert summary_to_json(whole) == summary_to_json(sharded)
+
+    def test_top_lints_tiebreak_identical_after_merge(self):
+        reports = [
+            run_lints(_cert("bad\x00.example.com")),
+            run_lints(_cert("worse\x00.example.com")),
+        ]
+        whole = summarize(reports)
+        merged = CorpusSummary.merged(
+            [summarize(reports[1:]), summarize(reports[:1])]
+        )
+        assert whole.top_lints(50) == merged.top_lints(50)
+
+
+class TestDeterminism:
+    def test_jobs4_byte_identical_to_jobs1(self, corpus):
+        # The ISSUE acceptance check: same seed, different job counts,
+        # byte-for-byte identical summaries.
+        one = lint_corpus_parallel(corpus, jobs=1)
+        four = lint_corpus_parallel(corpus, jobs=4)
+        assert summary_to_json(one.summary) == summary_to_json(four.summary)
+
+    def test_pipeline_matches_classic_sequential_path(self, corpus):
+        from repro.analysis import lint_corpus
+
+        classic = summarize(lint_corpus(corpus, jobs=1))
+        piped = summarize_corpus_parallel(corpus, jobs=2)
+        assert summary_to_json(classic) == summary_to_json(piped)
+
+    def test_reports_come_back_in_corpus_order(self, corpus):
+        seq = lint_corpus_parallel(corpus, jobs=1, collect_reports=True)
+        par = lint_corpus_parallel(corpus, jobs=2, collect_reports=True)
+        assert len(seq.reports) == len(par.reports) == len(corpus.records)
+        for left, right in zip(seq.reports, par.reports):
+            assert json.dumps(report_to_dict(left), sort_keys=True) == json.dumps(
+                report_to_dict(right), sort_keys=True
+            )
+
+    def test_shard_count_does_not_change_summary(self, corpus):
+        a = lint_corpus_parallel(corpus, jobs=1, shards=1)
+        b = lint_corpus_parallel(corpus, jobs=1, shards=7)
+        assert summary_to_json(a.summary) == summary_to_json(b.summary)
+
+    def test_empty_corpus(self):
+        outcome = lint_corpus_parallel([], jobs=4, collect_reports=True)
+        assert outcome.summary.total == 0
+        assert outcome.reports == []
+        assert outcome.shards == 0
+
+    def test_respects_effective_dates_flag(self, corpus):
+        with_dates = summarize_corpus_parallel(corpus, jobs=2)
+        without = summarize_corpus_parallel(
+            corpus, jobs=2, respect_effective_dates=False
+        )
+        assert without.noncompliant >= with_dates.noncompliant
+
+
+class _BrokenCert:
+    """Stands in for a certificate whose DER cannot be parsed."""
+
+    def to_der(self) -> bytes:
+        return b"\x30\x03garbage-that-is-not-der"
+
+
+class TestWorkerCrash:
+    def _poisoned(self, corpus):
+        import copy
+
+        poisoned = copy.copy(corpus)
+        poisoned.records = list(corpus.records)
+        victim = copy.copy(poisoned.records[len(poisoned.records) // 2])
+        victim.certificate = _BrokenCert()
+        poisoned.records[len(poisoned.records) // 2] = victim
+        return poisoned
+
+    def test_shard_failure_surfaces_clear_error_parallel(self, corpus):
+        with pytest.raises(ShardError) as excinfo:
+            lint_corpus_parallel(self._poisoned(corpus), jobs=2, shards=4)
+        message = str(excinfo.value)
+        assert "shard" in message
+        assert "parallel lint pipeline" in message
+
+    def test_shard_failure_surfaces_clear_error_inline(self, corpus):
+        with pytest.raises(ShardError) as excinfo:
+            lint_corpus_parallel(self._poisoned(corpus), jobs=1, shards=4)
+        assert excinfo.value.index >= 0
+
+    def test_lint_shard_never_raises(self, corpus):
+        tasks = build_shard_tasks(self._poisoned(corpus), shards=2)
+        results = [lint_shard(task) for task in tasks]
+        assert any(r.error for r in results)
+        failed = next(r for r in results if r.error)
+        # The structured failure carries the worker-side traceback.
+        assert "Traceback" in failed.error
+
+
+class TestRegistryCache:
+    def test_snapshot_is_cached(self):
+        assert REGISTRY.snapshot() is REGISTRY.snapshot()
+        assert list(REGISTRY.snapshot()) == REGISTRY.all()
+
+    def test_snapshot_invalidated_on_register(self):
+        from repro.lint.framework import (
+            FunctionLint,
+            LintMetadata,
+            NoncomplianceType,
+            RFC5280_DATE,
+            Severity,
+            Source,
+        )
+
+        registry = LintRegistry()
+        before = registry.snapshot()
+        lint = FunctionLint(
+            LintMetadata(
+                name="e_test_snapshot_invalidation",
+                description="",
+                citation="",
+                source=Source.RFC5280,
+                severity=Severity.ERROR,
+                nc_type=NoncomplianceType.ILLEGAL_FORMAT,
+                effective_date=RFC5280_DATE,
+            ),
+            lambda cert: True,
+            lambda cert: (True, ""),
+        )
+        registry.register(lint)
+        after = registry.snapshot()
+        assert before == ()
+        assert after == (lint,)

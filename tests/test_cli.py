@@ -85,6 +85,17 @@ class TestCorpusCommand:
         assert "noncompliant:" in out
         assert "top lints:" in out
 
+    def test_jobs_output_byte_identical(self, capsys):
+        # Satellite acceptance: same seed, --jobs 4 vs --jobs 1, the
+        # printed compliance landscape must match byte for byte.
+        args = ["corpus", "--scale", "0.00001", "--seed", "3"]
+        assert main(args + ["--jobs", "1"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(args + ["--jobs", "4"]) == 0
+        parallel = capsys.readouterr().out
+        assert sequential == parallel
+        assert "noncompliant:" in sequential
+
 
 class TestDifferentialCommand:
     def test_matrices_printed(self, capsys):

@@ -102,3 +102,68 @@ class TestRoundtrip:
     def test_differential_against_stdlib(self, text):
         # Python's built-in punycode codec is an independent oracle.
         assert punycode.encode(text) == text.encode("punycode").decode("ascii")
+
+
+class TestEdgeCases:
+    """RFC 3492 corner cases: empty input, all-basic labels, delimiter
+    placement, and the §6.4 overflow guards."""
+
+    def test_empty_round_trip(self):
+        assert punycode.encode("") == ""
+        assert punycode.decode("") == ""
+
+    def test_all_basic_trailing_delimiter(self):
+        # §3.1: a nonempty basic string always gets a delimiter, even
+        # with no extended part; the decoder must strip exactly one.
+        assert punycode.encode("abc") == "abc-"
+        assert punycode.decode("abc-") == "abc"
+
+    def test_basic_string_ending_in_hyphen(self):
+        # "abc-" encodes to "abc--"; only the *last* delimiter splits.
+        assert punycode.encode("abc-") == "abc--"
+        assert punycode.decode("abc--") == "abc-"
+
+    def test_delimiter_only_strings(self):
+        assert punycode.decode("-") == ""
+        assert punycode.decode("--") == "-"
+
+    def test_leading_delimiter_empty_basic(self):
+        # "-fiqs8s": empty basic string, extended part "fiqs8s"? No —
+        # rfind picks delimiter 0, so extended is everything after it.
+        assert punycode.decode("-" + "fiqs8s") == punycode.decode("fiqs8s")
+
+    def test_encode_overflow_guard(self):
+        # Enough basic prefix makes delta exceed the 31-bit ceiling on
+        # the first extended code point (§6.4).
+        with pytest.raises(PunycodeError):
+            punycode.encode("\x80" * 3000 + "\U0010FFFF")
+
+    def test_decode_weight_overflow_guard(self):
+        # '9' (digit 35) never terminates the varint, so w and i grow
+        # geometrically and must trip a §6.4 pre-multiplication guard.
+        with pytest.raises(PunycodeError, match="overflow"):
+            punycode.decode("9" * 12)
+
+    def test_decode_nonterminating_low_digits_truncate(self):
+        # 'z' (digit 25) terminates once t saturates at TMAX=26, so an
+        # all-z string exhausts input instead: truncated varint, no wrap.
+        with pytest.raises(PunycodeError):
+            punycode.decode("z" * 20)
+
+    def test_decode_accumulator_overflow_guard(self):
+        with pytest.raises(PunycodeError):
+            punycode.decode("99999999999999999999999999999a")
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789", max_size=12))
+    def test_all_basic_round_trip_property(self, text):
+        encoded = punycode.encode(text)
+        if text:
+            assert encoded == text + "-"
+        assert punycode.decode(encoded) == text
+
+    @given(st.text(alphabet=st.characters(blacklist_categories=("Cs",)), max_size=30))
+    def test_decode_differential_against_stdlib(self, text):
+        # Differential harness, decode direction: stdlib encodes, we
+        # must decode back to the identical string.
+        encoded = text.encode("punycode").decode("ascii")
+        assert punycode.decode(encoded) == text
