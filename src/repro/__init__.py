@@ -20,6 +20,8 @@ The package implements, from scratch, every system the paper describes:
 * :mod:`repro.threats` — the empirical threat scenarios of Section 6 and
   Appendix F (CT monitor misleading, traffic obfuscation, user spoofing).
 * :mod:`repro.analysis` — the computations behind every table and figure.
+* :mod:`repro.service` — the linter as an online service: asyncio
+  JSON-over-HTTP daemon with batching, caching, and backpressure.
 """
 
 __version__ = "1.0.0"
@@ -35,4 +37,5 @@ __all__ = [
     "ct",
     "threats",
     "analysis",
+    "service",
 ]

@@ -2,12 +2,15 @@
 
 Commands:
 
-* ``lint <file> [--ignore-effective-dates]`` — lint a PEM/DER
-  certificate with the 95 Unicert rules and print the findings.
+* ``lint <file>... [--ignore-effective-dates]`` — lint PEM/DER
+  certificates with the 95 Unicert rules and print the findings
+  (several files: per-file status on stderr, worst status as exit code).
 * ``rules [--new-only] [--type TYPE]`` — list the constraint rules.
 * ``corpus [--scale S] [--seed N] [--jobs N]`` — generate a calibrated
   corpus and print the Table 1-style compliance landscape, linting with
   ``N`` worker processes (default: all CPUs; exact for every ``N``).
+* ``serve [--port] [--jobs] [--cache-size] [--max-queue]`` — run the
+  lint-as-a-service daemon (:mod:`repro.service`).
 * ``differential`` — print the derived Table 4/5 parser matrices.
 """
 
@@ -17,12 +20,22 @@ import argparse
 import sys
 
 
-def _cmd_lint(args: argparse.Namespace) -> int:
+def _lint_one_file(path: str, args: argparse.Namespace) -> int:
+    """Lint one file (or stdin); returns the per-file exit status
+    (0 compliant, 1 findings, 2 unreadable/unparseable)."""
     from .lint import run_lints
     from .x509 import Certificate
     from .x509.pem import load_certificate_bytes
 
-    data = sys.stdin.buffer.read() if args.file == "-" else open(args.file, "rb").read()
+    if path == "-":
+        data = sys.stdin.buffer.read()
+    else:
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
     try:
         cert = Certificate.from_der(load_certificate_bytes(data))
     except Exception as exc:
@@ -49,6 +62,30 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(f"          {result.details}")
         print(f"          {result.lint.citation}")
     return 1
+
+
+_LINT_STATUS_WORDS = {0: "compliant", 1: "noncompliant", 2: "error"}
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Single file keeps the historical output byte-for-byte (the service
+    # parity tests compare against it); multiple files add a per-file
+    # header and a status summary on stderr, and exit with the worst
+    # per-file status (2 = unreadable dominates 1 = findings).
+    if len(args.files) == 1:
+        return _lint_one_file(args.files[0], args)
+    statuses: list[tuple[str, int]] = []
+    for index, path in enumerate(args.files):
+        if not args.json:
+            if index:
+                print()
+            print(f"== {path} ==")
+        statuses.append((path, _lint_one_file(path, args)))
+    for path, status in statuses:
+        print(
+            f"{path}: {_LINT_STATUS_WORDS[status]} ({status})", file=sys.stderr
+        )
+    return max(status for _, status in statuses)
 
 
 def _cmd_rules(args: argparse.Namespace) -> int:
@@ -101,6 +138,28 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import ServiceConfig, run_server
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache_size=args.cache_size,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        batch_delay=args.batch_delay_ms / 1e3,
+        request_timeout=args.timeout,
+    )
+    try:
+        asyncio.run(run_server(config, announce=print))
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        pass
+    return 0
+
+
 def _cmd_differential(args: argparse.Namespace) -> int:
     from .tlslibs import (
         ALL_PROFILES,
@@ -135,8 +194,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    lint = sub.add_parser("lint", help="lint a PEM/DER certificate")
-    lint.add_argument("file", help="path to certificate, or '-' for stdin")
+    lint = sub.add_parser("lint", help="lint one or more PEM/DER certificates")
+    lint.add_argument(
+        "files",
+        nargs="+",
+        metavar="file",
+        help="path(s) to certificates, or '-' for stdin; with several "
+        "files, per-file statuses go to stderr and the exit code is the "
+        "worst per-file status",
+    )
     lint.add_argument("--ignore-effective-dates", action="store_true")
     lint.add_argument("--json", action="store_true", help="emit a JSON report")
     lint.set_defaults(func=_cmd_lint)
@@ -160,6 +226,41 @@ def build_parser() -> argparse.ArgumentParser:
         "output is identical for every value)",
     )
     corpus.set_defaults(func=_cmd_corpus)
+
+    serve = sub.add_parser(
+        "serve", help="run the lint-as-a-service daemon (JSON over HTTP)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8750, help="0 picks an ephemeral port"
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="lint worker processes (default: os.cpu_count())",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="LRU result-cache entries (0 disables caching)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=256,
+        help="admission bound: in-flight lints before 429 backpressure",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=16,
+        help="certificates coalesced per worker dispatch",
+    )
+    serve.add_argument(
+        "--batch-delay-ms", type=float, default=2.0,
+        help="micro-batch straggler wait in milliseconds",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request lint deadline in seconds (504 past it)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     diff = sub.add_parser("differential", help="derive the parser matrices")
     diff.set_defaults(func=_cmd_differential)

@@ -17,7 +17,7 @@ from .corpus import (
     IssuerSpec,
     TrustStatus,
 )
-from .dataset import export_corpus, load_corpus
+from .dataset import DatasetIntegrityError, export_corpus, load_corpus
 from .monitors import (
     ALL_MONITORS,
     CTMonitor,
@@ -27,6 +27,7 @@ from .monitors import (
 )
 
 __all__ = [
+    "DatasetIntegrityError",
     "export_corpus",
     "load_corpus",
     "MerkleTree",

@@ -10,6 +10,13 @@ A generated corpus is persisted as a directory containing:
 
 Loading reconstitutes a fully functional :class:`Corpus` so analyses
 can run on a released dataset without re-generating it.
+
+Integrity: the manifest carries the record count and the SHA-256 of
+``index.jsonl``, and each index row carries the certificate's SHA-256
+fingerprint (which doubles as its filename).  :func:`load_corpus`
+verifies all three and raises :class:`DatasetIntegrityError` on a
+tampered or truncated export — a release consumed by third parties must
+fail loudly, not reconstitute a silently different corpus.
 """
 
 from __future__ import annotations
@@ -25,6 +32,10 @@ from .corpus import Corpus, CorpusRecord, TrustStatus
 
 _INDEX = "index.jsonl"
 _MANIFEST = "manifest.json"
+
+
+class DatasetIntegrityError(ValueError):
+    """An exported corpus fails digest/count verification on load."""
 
 
 def _record_to_dict(record: CorpusRecord) -> dict:
@@ -50,10 +61,13 @@ def export_corpus(corpus: Corpus, directory: str | pathlib.Path) -> pathlib.Path
     certs_dir.mkdir(parents=True, exist_ok=True)
     ca_dir.mkdir(parents=True, exist_ok=True)
 
+    index_digest = hashlib.sha256()
     with open(root / _INDEX, "w", encoding="utf-8") as index:
         for record in corpus.records:
             payload = _record_to_dict(record)
-            index.write(json.dumps(payload, ensure_ascii=False) + "\n")
+            line = json.dumps(payload, ensure_ascii=False) + "\n"
+            index.write(line)
+            index_digest.update(line.encode("utf-8"))
             pem_path = certs_dir / f"{payload['fingerprint']}.pem"
             if not pem_path.exists():
                 pem_path.write_text(encode_pem(record.certificate.to_der()))
@@ -68,6 +82,7 @@ def export_corpus(corpus: Corpus, directory: str | pathlib.Path) -> pathlib.Path
                 "format": "unicert-corpus-v1",
                 "scale": corpus.scale,
                 "records": len(corpus.records),
+                "index_sha256": index_digest.hexdigest(),
                 "trust_anchors": sorted(corpus.trust_anchors),
                 "ca_tokens": ca_tokens,
             },
@@ -79,37 +94,64 @@ def export_corpus(corpus: Corpus, directory: str | pathlib.Path) -> pathlib.Path
 
 
 def load_corpus(directory: str | pathlib.Path) -> Corpus:
-    """Reconstitute a corpus exported by :func:`export_corpus`."""
+    """Reconstitute a corpus exported by :func:`export_corpus`.
+
+    Verifies the manifest digests before trusting the data: the
+    ``index.jsonl`` SHA-256 and record count must match the manifest,
+    and every certificate's DER must hash to the fingerprint its index
+    row (and filename) claims.  Raises :class:`DatasetIntegrityError`
+    on any mismatch.
+    """
     root = pathlib.Path(directory)
     manifest = json.loads((root / _MANIFEST).read_text())
     if manifest.get("format") != "unicert-corpus-v1":
         raise ValueError(f"unknown corpus format in {root}")
+    index_bytes = (root / _INDEX).read_bytes()
+    expected_index = manifest.get("index_sha256")
+    if expected_index is not None:
+        actual_index = hashlib.sha256(index_bytes).hexdigest()
+        if actual_index != expected_index:
+            raise DatasetIntegrityError(
+                f"index.jsonl digest mismatch in {root}: manifest says "
+                f"{expected_index}, file hashes to {actual_index} "
+                "(tampered or truncated export)"
+            )
     corpus = Corpus(scale=manifest["scale"])
     corpus.trust_anchors = set(manifest["trust_anchors"])
     cert_cache: dict[str, Certificate] = {}
-    with open(root / _INDEX, encoding="utf-8") as index:
-        for line in index:
-            payload = json.loads(line)
-            fingerprint = payload["fingerprint"]
-            cert = cert_cache.get(fingerprint)
-            if cert is None:
-                pem_text = (root / "certs" / f"{fingerprint}.pem").read_text()
-                cert = Certificate.from_der(decode_pem(pem_text))
-                cert_cache[fingerprint] = cert
-            corpus.records.append(
-                CorpusRecord(
-                    certificate=cert,
-                    issuer_org=payload["issuer_org"],
-                    region=payload["region"],
-                    issuance_trust=TrustStatus[payload["issuance_trust"]],
-                    current_trust=TrustStatus[payload["current_trust"]],
-                    issued_at=_dt.datetime.fromisoformat(payload["issued_at"]),
-                    defect=payload["defect"],
-                    latent=payload["latent"],
-                    is_idn=payload["is_idn"],
-                    unicode_fields=tuple(payload["unicode_fields"]),
+    for line in index_bytes.decode("utf-8").splitlines():
+        payload = json.loads(line)
+        fingerprint = payload["fingerprint"]
+        cert = cert_cache.get(fingerprint)
+        if cert is None:
+            pem_text = (root / "certs" / f"{fingerprint}.pem").read_text()
+            cert = Certificate.from_der(decode_pem(pem_text))
+            if cert.fingerprint() != fingerprint:
+                raise DatasetIntegrityError(
+                    f"certificate {fingerprint}.pem hashes to "
+                    f"{cert.fingerprint()} (tampered certificate bytes)"
                 )
+            cert_cache[fingerprint] = cert
+        corpus.records.append(
+            CorpusRecord(
+                certificate=cert,
+                issuer_org=payload["issuer_org"],
+                region=payload["region"],
+                issuance_trust=TrustStatus[payload["issuance_trust"]],
+                current_trust=TrustStatus[payload["current_trust"]],
+                issued_at=_dt.datetime.fromisoformat(payload["issued_at"]),
+                defect=payload["defect"],
+                latent=payload["latent"],
+                is_idn=payload["is_idn"],
+                unicode_fields=tuple(payload["unicode_fields"]),
             )
+        )
+    expected_records = manifest.get("records")
+    if expected_records is not None and len(corpus.records) != expected_records:
+        raise DatasetIntegrityError(
+            f"manifest promises {expected_records} records, index.jsonl "
+            f"holds {len(corpus.records)} (truncated export)"
+        )
     for token, org in manifest["ca_tokens"].items():
         pem_text = (root / "ca" / f"{token}.pem").read_text()
         corpus.ca_certificates[org] = Certificate.from_der(decode_pem(pem_text))

@@ -39,11 +39,13 @@ from . import structure  # noqa: F401  (T3 Invalid Structure / Discouraged)
 
 from .runner import CertificateReport, CorpusSummary, run_lints, summarize
 from .parallel import (
+    LintPool,
     ParallelLintOutcome,
     ShardError,
     ShardResult,
     ShardTask,
     lint_corpus_parallel,
+    lint_ders_to_json,
     shard_bounds,
     summarize_corpus_parallel,
 )
@@ -61,11 +63,13 @@ __all__ = [
     "report_to_json",
     "summary_to_dict",
     "summary_to_json",
+    "LintPool",
     "ParallelLintOutcome",
     "ShardError",
     "ShardResult",
     "ShardTask",
     "lint_corpus_parallel",
+    "lint_ders_to_json",
     "shard_bounds",
     "summarize_corpus_parallel",
     "REGISTRY",

@@ -33,6 +33,7 @@ Design points:
 
 from __future__ import annotations
 
+import concurrent.futures as _cf
 import datetime as _dt
 import multiprocessing as _mp
 import os
@@ -188,9 +189,87 @@ def lint_shard(task: ShardTask) -> ShardResult:
     return result
 
 
+def lint_ders_to_json(
+    ders: tuple[bytes, ...], respect_effective_dates: bool = True
+) -> list[str]:
+    """Lint DER certificates and return one JSON report string each.
+
+    This is the worker-side primitive behind the lint service
+    (:mod:`repro.service`): each string is exactly what
+    ``python -m repro lint --json`` writes for the same certificate
+    (``report_to_json(report, cert)``), which is what makes the online
+    and offline paths byte-comparable.  Unparseable DER raises — callers
+    are expected to validate admission-side so a batch is all-or-nothing.
+    """
+    from ..x509 import Certificate
+    from .serialization import report_to_json
+
+    lints = _worker_lints()
+    out: list[str] = []
+    for der in ders:
+        cert = Certificate.from_der(der)
+        report = run_lints(
+            cert, lints=lints, respect_effective_dates=respect_effective_dates
+        )
+        out.append(report_to_json(report, cert))
+    return out
+
+
 # ---------------------------------------------------------------------------
 # Parent side
 # ---------------------------------------------------------------------------
+
+
+class LintPool:
+    """A reusable worker-pool handle over :class:`ProcessPoolExecutor`.
+
+    PR 1's pipeline built a ``multiprocessing.Pool`` per call, which is
+    fine for one-shot batch runs but wrong for a long-lived service: the
+    fork/spawn cost would land on the first request of every batch.  A
+    ``LintPool`` is created once, hands out futures, and is shared by
+    both entry points — :func:`lint_corpus_parallel` (shard summaries)
+    and the service batcher (:func:`lint_ders_to_json` strings).
+
+    The executor is created lazily on first submit and workers cache the
+    registry snapshot exactly as before (:func:`_worker_lints`).
+    """
+
+    def __init__(self, jobs: int | None = None):
+        self.jobs = resolve_jobs(jobs)
+        self._executor: _cf.ProcessPoolExecutor | None = None
+
+    @property
+    def executor(self) -> _cf.ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = _cf.ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=_mp_context()
+            )
+        return self._executor
+
+    def submit_shard(self, task: ShardTask) -> "_cf.Future[ShardResult]":
+        """Dispatch one corpus shard; the future resolves to its
+        :class:`ShardResult` (structured errors, never raises)."""
+        return self.executor.submit(lint_shard, task)
+
+    def submit_json(
+        self, ders: tuple[bytes, ...], respect_effective_dates: bool = True
+    ) -> "_cf.Future[list[str]]":
+        """Dispatch a service micro-batch; the future resolves to one
+        CLI-identical JSON report string per certificate."""
+        return self.executor.submit(
+            lint_ders_to_json, ders, respect_effective_dates
+        )
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait, cancel_futures=not wait)
+            self._executor = None
+
+    def __enter__(self) -> "LintPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
 
 
 def _records_of(corpus) -> list:
@@ -251,6 +330,7 @@ def lint_corpus_parallel(
     shards: int | None = None,
     respect_effective_dates: bool = True,
     collect_reports: bool = False,
+    pool: LintPool | None = None,
 ) -> ParallelLintOutcome:
     """Lint a corpus with ``jobs`` worker processes and merge exactly.
 
@@ -259,10 +339,13 @@ def lint_corpus_parallel(
     testable: every job count executes the same serialize → parse →
     lint → summarize → merge sequence over the same shard boundaries.
 
+    Pass ``pool`` to reuse a long-lived :class:`LintPool` (the service
+    does); otherwise an ephemeral pool is created and torn down here.
+
     Raises :class:`ShardError` as soon as any shard reports a failure.
     """
     records = _records_of(corpus)
-    jobs = resolve_jobs(jobs)
+    jobs = pool.jobs if pool is not None else resolve_jobs(jobs)
     if not records:
         return _merge_results([], jobs, collect_reports)
     if shards is None:
@@ -274,23 +357,31 @@ def lint_corpus_parallel(
         collect_reports=collect_reports,
     )
     results: list[ShardResult] = []
-    if jobs == 1 or len(tasks) <= 1:
+    if pool is None and (jobs == 1 or len(tasks) <= 1):
         for task in tasks:
             result = lint_shard(task)
             if result.error:
                 raise ShardError(result.index, result.error)
             results.append(result)
         return _merge_results(results, 1, collect_reports)
-    ctx = _mp_context()
-    with ctx.Pool(processes=min(jobs, len(tasks))) as pool:
-        # imap_unordered streams results back as shards finish; the
-        # parent fails fast on the first structured error instead of
-        # waiting for the stragglers.
-        for result in pool.imap_unordered(lint_shard, tasks):
+    owned = pool is None
+    if pool is None:
+        pool = LintPool(jobs)
+    try:
+        futures = [pool.submit_shard(task) for task in tasks]
+        # as_completed streams results back as shards finish; the parent
+        # fails fast on the first structured error instead of waiting
+        # for the stragglers.
+        for future in _cf.as_completed(futures):
+            result = future.result()
             if result.error:
-                pool.terminate()
+                for pending in futures:
+                    pending.cancel()
                 raise ShardError(result.index, result.error)
             results.append(result)
+    finally:
+        if owned:
+            pool.shutdown(wait=False)
     return _merge_results(results, jobs, collect_reports)
 
 

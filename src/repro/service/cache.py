@@ -1,0 +1,79 @@
+"""DER-content-addressed LRU cache of rendered lint responses.
+
+CT ingestion traffic is heavily duplicated (the same certificate is
+logged by several logs and re-submitted by several monitors), so the
+service keys its cache on the SHA-256 of the *DER* — the canonical wire
+form — not on the request bytes: the same certificate arriving as PEM,
+raw DER, or base64 hits the same entry.  Values are the fully rendered
+response body strings, so a hit bypasses parsing, linting, and
+serialization entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+
+def cache_key(der: bytes) -> str:
+    """Content address of one certificate: SHA-256 over the DER."""
+    return hashlib.sha256(der).hexdigest()
+
+
+class ResultCache:
+    """A bounded LRU mapping ``sha256(der) → rendered JSON body``.
+
+    Single-threaded by design: the service touches it only from the
+    event loop, so no locking.  ``capacity <= 0`` disables caching
+    (every lookup is a miss, nothing is stored).
+    """
+
+    def __init__(self, capacity: int = 1024):
+        self.capacity = capacity
+        self._entries: OrderedDict[str, str] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> str | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, body: str) -> None:
+        if self.capacity <= 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = body
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 6),
+        }

@@ -1,0 +1,125 @@
+"""Blocking client for the lint service (stdlib ``http.client`` only).
+
+The shape a CT-ingestion pipeline embeds: one client per worker thread,
+one connection per request (the daemon speaks ``Connection: close``),
+JSON in and out.  ``lint_raw`` exposes the exact response bytes so
+callers can assert byte-identity with the offline CLI path.
+"""
+
+from __future__ import annotations
+
+import base64
+import http.client
+import json
+import time
+from typing import Any
+
+
+class ServiceError(Exception):
+    """A non-2xx structured response from the daemon."""
+
+    def __init__(self, status: int, payload: Any):
+        error = payload.get("error", {}) if isinstance(payload, dict) else {}
+        super().__init__(
+            f"service returned {status}: "
+            f"{error.get('code', '?')} — {error.get('message', payload)}"
+        )
+        self.status = status
+        self.payload = payload
+        self.code = error.get("code")
+        self.retry_after = None
+
+
+class LintServiceClient:
+    """Talks to one ``repro serve`` daemon."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8750, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        content_type: str = "application/json",
+    ) -> tuple[int, dict[str, str], bytes]:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            headers = {"Content-Type": content_type} if body is not None else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            payload = response.read()
+            return (
+                response.status,
+                {k.lower(): v for k, v in response.getheaders()},
+                payload,
+            )
+        finally:
+            conn.close()
+
+    def _json(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> Any:
+        status, headers, payload = self._request(method, path, body)
+        try:
+            document = json.loads(payload)
+        except json.JSONDecodeError:
+            document = {"error": {"code": "bad_response", "message": repr(payload)}}
+        if status >= 400:
+            error = ServiceError(status, document)
+            error.retry_after = headers.get("retry-after")
+            raise error
+        return document
+
+    # -- lint ---------------------------------------------------------
+
+    def lint_raw(self, cert: bytes) -> tuple[int, bytes]:
+        """POST one certificate; return ``(status, exact body bytes)``."""
+        status, _headers, payload = self._request(
+            "POST", "/lint", cert, content_type="application/octet-stream"
+        )
+        return status, payload
+
+    def lint(self, cert: bytes) -> dict:
+        """POST one certificate (PEM/DER bytes); return the report dict."""
+        return self._json("POST", "/lint", cert)
+
+    def lint_batch(self, certs: list[bytes]) -> dict:
+        """POST many certificates in one request (base64-encoded)."""
+        body = json.dumps(
+            {
+                "certificates": [
+                    base64.b64encode(cert).decode("ascii") for cert in certs
+                ]
+            }
+        ).encode("utf-8")
+        return self._json("POST", "/lint/batch", body)
+
+    # -- introspection ------------------------------------------------
+
+    def rules(self) -> dict:
+        return self._json("GET", "/rules")
+
+    def healthz(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._json("GET", "/metrics")
+
+    def wait_ready(self, attempts: int = 50, delay: float = 0.1) -> dict:
+        """Poll ``/healthz`` until the daemon answers (startup races)."""
+        last_error: Exception | None = None
+        for _ in range(attempts):
+            try:
+                return self.healthz()
+            except (OSError, ServiceError) as exc:
+                last_error = exc
+                time.sleep(delay)
+        raise TimeoutError(
+            f"service at {self.host}:{self.port} not ready "
+            f"after {attempts * delay:.1f}s: {last_error}"
+        )

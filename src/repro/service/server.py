@@ -1,0 +1,445 @@
+"""The lint-as-a-service daemon.
+
+Routes
+------
+
+* ``POST /lint`` — one certificate (PEM, raw DER, or base64 of either)
+  → the exact ``python -m repro lint --json`` document.
+* ``POST /lint/batch`` — ``{"certificates": [<b64/PEM string>, ...]}``
+  → per-certificate reports or structured per-item errors.
+* ``GET /rules`` — the 95 frozen constraint rules.
+* ``GET /healthz`` — liveness + drain state.
+* ``GET /metrics`` — cache / batcher / queue / request counters.
+
+Data path for a ``POST /lint``::
+
+    body → DER → sha256 key ── hit ──────────────→ cached body
+                     │ miss
+                     ▼
+          admission (bounded; full → 429 + Retry-After)
+                     │
+                     ▼
+          in-flight dedup (same DER already dispatched → share future)
+                     │
+                     ▼
+          micro-batcher → LintPool worker → report_to_json → cache
+
+The response body is byte-identical to the offline CLI path because
+both run :func:`repro.lint.parallel.lint_ders_to_json`-shaped code:
+parse the DER with the tolerant parser, run the registry snapshot,
+render with ``report_to_json(report, cert)``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import binascii
+import contextlib
+import json
+import signal
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..lint.parallel import LintPool
+from ..x509 import Certificate
+from ..x509.pem import decode_pem
+from .batcher import MicroBatcher
+from .cache import ResultCache, cache_key
+from .http import (
+    HttpError,
+    Request,
+    error_response,
+    json_response,
+    read_request,
+    render_response,
+)
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for one daemon instance (all CLI-exposed where noted)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8750  #: 0 = ephemeral (the bound port lands on service.port)
+    jobs: int | None = None  #: lint worker processes (--jobs)
+    cache_size: int = 1024  #: LRU entries (--cache-size)
+    max_queue: int = 256  #: admitted-but-unfinished lint cap (--max-queue)
+    max_batch: int = 16  #: certificates per worker dispatch
+    batch_delay: float = 0.002  #: micro-batch straggler wait, seconds
+    request_timeout: float = 30.0  #: per-request lint deadline (504 past it)
+    max_body: int = 4 * 1024 * 1024  #: request body cap (413 past it)
+    retry_after: float = 1.0  #: Retry-After hint on 429
+
+
+def decode_certificate_body(data: bytes) -> bytes:
+    """Accept PEM, raw DER, or base64-of-either; return DER bytes."""
+    if not data.strip():
+        raise HttpError(400, "empty_body", "request body is empty")
+    if data[:1] == b"\x30":  # DER SEQUENCE tag: raw bytes, pass untouched
+        return data
+    data = data.strip()
+    if data.startswith(b"-----BEGIN"):
+        try:
+            return decode_pem(data.decode("ascii", errors="replace"), label="CERTIFICATE")
+        except Exception as exc:
+            raise HttpError(400, "bad_pem", f"invalid PEM body: {exc}") from exc
+    try:
+        decoded = base64.b64decode(b"".join(data.split()), validate=True)
+    except (binascii.Error, ValueError) as exc:
+        raise HttpError(
+            400,
+            "bad_body",
+            "body is neither PEM, DER, nor base64 of either",
+        ) from exc
+    if decoded.startswith(b"-----BEGIN"):
+        try:
+            return decode_pem(
+                decoded.decode("ascii", errors="replace"), label="CERTIFICATE"
+            )
+        except Exception as exc:
+            raise HttpError(400, "bad_pem", f"invalid PEM body: {exc}") from exc
+    return decoded
+
+
+def _parse_der(der: bytes) -> Certificate:
+    try:
+        return Certificate.from_der(der)
+    except Exception as exc:
+        raise HttpError(
+            400, "unparseable_certificate", f"input is not a parseable certificate: {exc}"
+        ) from exc
+
+
+def rules_payload() -> list[dict]:
+    """The 95 constraint rules as JSON (the ``GET /rules`` document)."""
+    from ..lint import CONSTRAINT_RULES
+
+    return [
+        {
+            "rule_id": rule.rule_id,
+            "lint": rule.lint_name,
+            "field": rule.field,
+            "structures": rule.structures,
+            "requirement": rule.requirement,
+            "requirement_level": rule.requirement_level,
+            "source": rule.source_document,
+            "new": rule.new,
+            "type": rule.nc_type.value,
+        }
+        for rule in CONSTRAINT_RULES
+    ]
+
+
+class LintService:
+    """One daemon instance: listener + cache + batcher + worker pool.
+
+    ``pool`` may be injected (anything with ``submit_json`` and
+    ``shutdown``); the service then does not own its lifecycle.  Tests
+    use this to wedge a deliberately slow pool and observe backpressure.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, pool=None):
+        self.config = config or ServiceConfig()
+        self._pool = pool
+        self._owns_pool = pool is None
+        self.cache = ResultCache(self.config.cache_size)
+        self.batcher = MicroBatcher(
+            self._dispatch,
+            max_batch=self.config.max_batch,
+            max_delay=self.config.batch_delay,
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._pending = 0
+        self._draining = False
+        self._started_at: float | None = None
+        self.port: int | None = None
+        self.requests_total = 0
+        self.responses_by_status: dict[int, int] = {}
+        self.rejected_total = 0
+        self.timeouts_total = 0
+        self.certs_linted = 0
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> None:
+        if self._pool is None:
+            self._pool = LintPool(self.config.jobs)
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._server.serve_forever()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop accepting, finish what was admitted.
+
+        SIGTERM lands here: the listener closes first (new connections
+        are refused at the TCP level), in-flight connections run to
+        completion, the batcher flushes, and finally the worker pool —
+        if this service owns it — is torn down.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        await self.batcher.stop()
+        if self._owns_pool and self._pool is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._pool.shutdown
+            )
+
+    # -- pool bridge --------------------------------------------------
+
+    def _dispatch(self, ders):
+        return self._pool.submit_json(ders)
+
+    # -- connection handling ------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            try:
+                request = await read_request(reader, self.config.max_body)
+            except HttpError as exc:
+                writer.write(error_response(exc))
+                return
+            if request is None:
+                return
+            self.requests_total += 1
+            response = await self._route(request)
+            writer.write(response)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+
+    async def _route(self, request: Request) -> bytes:
+        try:
+            handler, methods = _ROUTES.get(request.path, (None, ()))
+            if handler is None:
+                raise HttpError(404, "not_found", f"no route for {request.path}")
+            if request.method not in methods:
+                raise HttpError(
+                    405,
+                    "method_not_allowed",
+                    f"{request.path} accepts {'/'.join(methods)}",
+                )
+            response = await handler(self, request)
+        except HttpError as exc:
+            if exc.status == 429:
+                self.rejected_total += 1
+            response = error_response(exc)
+        except Exception as exc:  # pragma: no cover - defensive
+            response = error_response(
+                HttpError(500, "internal_error", f"{type(exc).__name__}: {exc}")
+            )
+        status = int(response.split(b" ", 2)[1])
+        self.responses_by_status[status] = (
+            self.responses_by_status.get(status, 0) + 1
+        )
+        return response
+
+    # -- the lint data path -------------------------------------------
+
+    async def _lint_der(self, der: bytes) -> str:
+        """Cache → admission → in-flight dedup → batcher → cache."""
+        key = cache_key(der)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        shared = self._inflight.get(key)
+        if shared is None:
+            if self._draining:
+                raise HttpError(503, "draining", "service is shutting down")
+            if self._pending >= self.config.max_queue:
+                raise HttpError(
+                    429,
+                    "queue_full",
+                    f"admission queue is full ({self.config.max_queue} in flight)",
+                    retry_after=self.config.retry_after,
+                )
+            self._pending += 1
+            shared = self.batcher.submit(der)
+            self._inflight[key] = shared
+
+            def _settle(fut: asyncio.Future, key=key) -> None:
+                self._pending -= 1
+                self._inflight.pop(key, None)
+                if not fut.cancelled() and fut.exception() is None:
+                    self.cache.put(key, fut.result())
+                    self.certs_linted += 1
+
+            shared.add_done_callback(_settle)
+        try:
+            # shield(): a per-request timeout must not cancel the shared
+            # computation other waiters (and the cache) depend on.
+            return await asyncio.wait_for(
+                asyncio.shield(shared), self.config.request_timeout
+            )
+        except asyncio.TimeoutError:
+            self.timeouts_total += 1
+            raise HttpError(
+                504,
+                "lint_timeout",
+                f"lint did not finish within {self.config.request_timeout}s",
+            ) from None
+        except HttpError:
+            raise
+        except Exception as exc:
+            raise HttpError(
+                500, "lint_failed", f"{type(exc).__name__}: {exc}"
+            ) from exc
+
+    async def _handle_lint(self, request: Request) -> bytes:
+        der = decode_certificate_body(request.body)
+        _parse_der(der)  # reject unparseable input before admission
+        body = await self._lint_der(der)
+        # print() in the CLI appends "\n"; matching it keeps the service
+        # body byte-identical to `python -m repro lint --json` stdout.
+        return render_response(200, body.encode("utf-8") + b"\n")
+
+    async def _handle_lint_batch(self, request: Request) -> bytes:
+        try:
+            payload = json.loads(request.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, "bad_json", f"body is not JSON: {exc}") from exc
+        items = payload.get("certificates") if isinstance(payload, dict) else None
+        if not isinstance(items, list) or not items:
+            raise HttpError(
+                400,
+                "bad_batch",
+                'expected {"certificates": [<base64/PEM string>, ...]}',
+            )
+        ders: list[bytes | HttpError] = []
+        for item in items:
+            try:
+                if not isinstance(item, str):
+                    raise HttpError(400, "bad_batch_item", "items must be strings")
+                der = decode_certificate_body(item.encode("utf-8"))
+                _parse_der(der)
+                ders.append(der)
+            except HttpError as exc:
+                ders.append(exc)
+
+        async def _one(entry):
+            if isinstance(entry, HttpError):
+                return entry.to_dict()["error"]
+            try:
+                return json.loads(await self._lint_der(entry))
+            except HttpError as exc:
+                if exc.status == 429:
+                    self.rejected_total += 1
+                return exc.to_dict()["error"]
+
+        results = await asyncio.gather(*(_one(entry) for entry in ders))
+        body = {
+            "count": len(results),
+            "results": [
+                {"index": i}
+                | ({"error": r} if "status" in r and "code" in r else {"report": r})
+                for i, r in enumerate(results)
+            ],
+        }
+        return json_response(200, body)
+
+    # -- introspection routes -----------------------------------------
+
+    async def _handle_rules(self, request: Request) -> bytes:
+        return json_response(200, {"count": len(rules_payload()), "rules": rules_payload()})
+
+    async def _handle_healthz(self, request: Request) -> bytes:
+        return json_response(
+            200,
+            {
+                "status": "draining" if self._draining else "ok",
+                "jobs": self._pool.jobs if self._pool is not None else None,
+                "uptime_s": (
+                    round(time.monotonic() - self._started_at, 3)
+                    if self._started_at is not None
+                    else None
+                ),
+            },
+        )
+
+    async def _handle_metrics(self, request: Request) -> bytes:
+        return json_response(200, self.metrics())
+
+    def metrics(self) -> dict:
+        return {
+            "requests_total": self.requests_total,
+            "responses_by_status": {
+                str(k): v for k, v in sorted(self.responses_by_status.items())
+            },
+            "certs_linted": self.certs_linted,
+            "rejected_total": self.rejected_total,
+            "timeouts_total": self.timeouts_total,
+            "queue": {
+                "pending": self._pending,
+                "max": self.config.max_queue,
+            },
+            "cache": self.cache.stats(),
+            "batcher": self.batcher.stats(),
+            "draining": self._draining,
+        }
+
+
+_ROUTES: dict[str, tuple[Callable, tuple[str, ...]]] = {
+    "/lint": (LintService._handle_lint, ("POST",)),
+    "/lint/batch": (LintService._handle_lint_batch, ("POST",)),
+    "/rules": (LintService._handle_rules, ("GET",)),
+    "/healthz": (LintService._handle_healthz, ("GET",)),
+    "/metrics": (LintService._handle_metrics, ("GET",)),
+}
+
+
+async def run_server(
+    config: ServiceConfig | None = None,
+    announce: Callable[[str], None] | None = None,
+) -> None:
+    """Run a daemon until SIGTERM/SIGINT, then drain gracefully."""
+    service = LintService(config)
+    await service.start()
+    if announce is not None:
+        announce(
+            f"repro lint service listening on "
+            f"http://{service.config.host}:{service.port} "
+            f"(jobs={service._pool.jobs}, cache={service.config.cache_size}, "
+            f"max-queue={service.config.max_queue})"
+        )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-main thread or platform without signal support
+    serve = asyncio.ensure_future(service.serve_forever())
+    await stop.wait()
+    if announce is not None:
+        announce("repro lint service draining...")
+    await service.drain()
+    serve.cancel()
+    with contextlib.suppress(asyncio.CancelledError):
+        await serve
+    if announce is not None:
+        announce("repro lint service stopped")

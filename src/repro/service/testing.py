@@ -1,0 +1,88 @@
+"""In-process daemon harness for tests and benchmarks.
+
+Runs a :class:`LintService` on its own event loop in a background
+thread (port 0 → ephemeral), so tests and benches can hit a real TCP
+daemon with the blocking client without spawning a subprocess.  The CI
+smoke job intentionally does *not* use this — it exercises the real
+``python -m repro serve`` process including SIGTERM drain.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from .client import LintServiceClient
+from .server import LintService, ServiceConfig
+
+
+class ThreadedService:
+    """Context manager: a live daemon on an ephemeral port."""
+
+    def __init__(self, config: ServiceConfig | None = None, pool=None):
+        config = config or ServiceConfig()
+        if config.port == 8750:
+            config.port = 0  # default to ephemeral inside tests
+        self.service = LintService(config, pool=pool)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        assert self.service.port is not None, "service not started"
+        return self.service.port
+
+    def client(self, timeout: float = 30.0) -> LintServiceClient:
+        return LintServiceClient(self.service.config.host, self.port, timeout)
+
+    def run_coro(self, coro, timeout: float = 30.0):
+        """Run a coroutine on the service loop (for white-box tests)."""
+        assert self._loop is not None
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(timeout)
+
+    def _main(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self.service.start())
+        except BaseException as exc:  # surface bind/pool failures to start()
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    def start(self) -> "ThreadedService":
+        self._thread = threading.Thread(
+            target=self._main, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        assert self.service.port is not None, "service failed to start"
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        asyncio.run_coroutine_threadsafe(
+            self.service.drain(), self._loop
+        ).result(timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "ThreadedService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -261,3 +261,43 @@ class TestRegistryCache:
         after = registry.snapshot()
         assert before == ()
         assert after == (lint,)
+
+
+class TestLintPool:
+    """The reusable pool handle (PR 2): shared by the batch pipeline
+    and the lint service instead of a per-call multiprocessing.Pool."""
+
+    def test_corpus_results_identical_through_a_reused_pool(self, corpus):
+        from repro.lint.parallel import LintPool
+
+        baseline = summary_to_json(lint_corpus_parallel(corpus, jobs=1).summary)
+        with LintPool(jobs=2) as pool:
+            first = lint_corpus_parallel(corpus, pool=pool)
+            second = lint_corpus_parallel(corpus, pool=pool)
+            assert summary_to_json(first.summary) == baseline
+            assert summary_to_json(second.summary) == baseline
+            assert first.jobs == 2
+
+    def test_submit_json_matches_cli_serialization(self):
+        from repro.lint import report_to_json
+        from repro.lint.parallel import LintPool, lint_ders_to_json
+
+        certs = [_cert("pool-a.example.com"), _cert("bad\x00pool.example.com")]
+        ders = tuple(c.to_der() for c in certs)
+        expected = [
+            report_to_json(run_lints(c), c) for c in certs
+        ]
+        # Inline worker function...
+        assert lint_ders_to_json(ders) == expected
+        # ...and through a real worker process.
+        with LintPool(jobs=1) as pool:
+            assert pool.submit_json(ders).result(timeout=60) == expected
+
+    def test_shutdown_is_idempotent_and_reentrant(self):
+        from repro.lint.parallel import LintPool
+
+        pool = LintPool(jobs=1)
+        pool.shutdown()  # never started: no executor to tear down
+        pool.submit_json((_cert("re.example.com").to_der(),)).result(timeout=60)
+        pool.shutdown()
+        pool.shutdown()

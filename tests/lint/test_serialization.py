@@ -80,3 +80,82 @@ class TestSummarySerialization:
         assert payload["total"] == 1
         assert payload["noncompliant"] == 1
         assert json.dumps(payload)  # serializable
+
+
+class TestRoundTripFidelity:
+    """PR 2 satellite: report_to_json → parse → the same findings,
+    severities, and citations as the in-memory report objects."""
+
+    def _crafted_noncompliant(self):
+        key = generate_keypair(seed=163)
+        from repro.asn1.oid import OID_ORGANIZATION_NAME
+
+        # NUL in the CN, trailing space in O, CN absent from the SAN:
+        # several distinct lints with distinct severities fire at once.
+        return (
+            CertificateBuilder()
+            .subject_cn("evil\x00.example.com")
+            .subject_attr(OID_ORGANIZATION_NAME, "Tricky Corp ")
+            .not_before(dt.datetime(2024, 6, 1))
+            .add_extension(subject_alt_name(GeneralName.dns("other.example.net")))
+            .sign(key)
+        )
+
+    def test_findings_severities_citations_survive(self):
+        cert = self._crafted_noncompliant()
+        report = run_lints(cert)
+        assert report.findings, "crafted cert must be noncompliant"
+        parsed = json.loads(report_to_json(report, cert))
+
+        expected = [
+            {
+                "lint": r.lint.name,
+                "status": r.status.value,
+                "severity": r.lint.severity.value,
+                "type": r.lint.nc_type.value,
+                "citation": r.lint.citation,
+            }
+            for r in report.findings
+        ]
+        actual = [
+            {k: f[k] for k in ("lint", "status", "severity", "type", "citation")}
+            for f in parsed["findings"]
+        ]
+        assert actual == expected
+        assert len({f["severity"] for f in parsed["findings"]}) >= 1
+        assert all(f["citation"] for f in parsed["findings"])
+
+    def test_parse_reserialize_is_stable(self):
+        cert = self._crafted_noncompliant()
+        report = run_lints(cert)
+        text = report_to_json(report, cert)
+        reserialized = json.dumps(
+            json.loads(text), indent=2, ensure_ascii=False, sort_keys=True
+        )
+        assert reserialized == text
+
+    def test_certificate_block_matches_cert(self):
+        cert = self._crafted_noncompliant()
+        parsed = json.loads(report_to_json(run_lints(cert), cert))
+        block = parsed["certificate"]
+        assert block["fingerprint_sha256"] == cert.fingerprint()
+        assert block["serial"] == cert.serial
+        assert block["subject"] == cert.subject.rfc4514_string()
+        assert block["not_before"] == cert.not_before.isoformat()
+
+    def test_suppressed_findings_round_trip_too(self):
+        key = generate_keypair(seed=164)
+        old = (
+            CertificateBuilder()
+            .subject_cn("vintage.example.com")
+            .not_before(dt.datetime(2009, 1, 1))
+            .sign(key)
+        )
+        report = run_lints(old)
+        parsed = json.loads(report_to_json(report, old))
+        assert [f["lint"] for f in parsed["suppressed_by_effective_date"]] == [
+            r.lint.name for r in report.suppressed_by_effective_date
+        ]
+        assert parsed["noncompliant_ignoring_effective_dates"] is bool(
+            report.noncompliant_ignoring_dates
+        )

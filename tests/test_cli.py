@@ -103,3 +103,63 @@ class TestDifferentialCommand:
         out = capsys.readouterr().out
         assert "decoding matrix" in out
         assert "character checks" in out
+
+
+class TestLintMultipleFiles:
+    """PR 2 satellite: several files in one invocation, per-file status
+    on stderr, worst per-file status as the exit code."""
+
+    def test_two_files_worst_status_wins(self, tmp_path, capsys):
+        good = write_cert(tmp_path, "ok.example.com", san="ok.example.com")
+        bad_path = tmp_path / "bad.pem"
+        builder = (
+            CertificateBuilder()
+            .subject_cn("bad\x00cn.example.com")
+            .not_before(dt.datetime(2024, 1, 1))
+            .add_extension(subject_alt_name(GeneralName.dns("other.example.com")))
+        )
+        bad_path.write_text(encode_pem(builder.sign(KEY).to_der()))
+        assert main(["lint", good, str(bad_path)]) == 1
+        captured = capsys.readouterr()
+        assert f"== {good} ==" in captured.out
+        assert f"== {bad_path} ==" in captured.out
+        assert f"{good}: compliant (0)" in captured.err
+        assert f"{bad_path}: noncompliant (1)" in captured.err
+
+    def test_unreadable_file_status_two_dominates(self, tmp_path, capsys):
+        good = write_cert(tmp_path, "ok.example.com", san="ok.example.com")
+        missing = str(tmp_path / "does-not-exist.pem")
+        assert main(["lint", good, missing]) == 2
+        captured = capsys.readouterr()
+        assert f"{missing}: error (2)" in captured.err
+        assert "cannot read" in captured.err
+
+    def test_single_file_output_is_unchanged(self, tmp_path, capsys):
+        # No headers, no stderr status lines: the historical format the
+        # service parity tests depend on.
+        path = write_cert(tmp_path, "ok.example.com", san="ok.example.com")
+        assert main(["lint", path]) == 0
+        captured = capsys.readouterr()
+        assert "==" not in captured.out
+        assert captured.err == ""
+
+    def test_multi_file_json_emits_one_document_per_file(self, tmp_path, capsys):
+        import json as json_mod
+
+        a = write_cert(tmp_path, "ok.example.com", san="ok.example.com")
+        b_path = tmp_path / "b.pem"
+        b_path.write_text(
+            encode_pem(
+                CertificateBuilder()
+                .subject_cn("two.example.com")
+                .not_before(dt.datetime(2024, 1, 1))
+                .add_extension(subject_alt_name(GeneralName.dns("two.example.com")))
+                .sign(KEY)
+                .to_der()
+            )
+        )
+        assert main(["lint", a, str(b_path), "--json"]) == 0
+        captured = capsys.readouterr()
+        documents = json_mod.loads("[" + captured.out.replace("}\n{", "},{") + "]")
+        assert len(documents) == 2
+        assert all("findings" in document for document in documents)
