@@ -1,13 +1,50 @@
-"""Performance benchmarks for the core pipeline components.
+"""Corpus-scale lint throughput: memoized/indexed path vs reference.
 
-These are conventional pytest-benchmark measurements (multiple rounds)
-rather than table regenerations: linter throughput, DER parsing, and
-Punycode conversion.
+Two layers:
+
+* **Corpus benchmark** (``main()`` / ``test_corpus_lint_throughput``) —
+  lints one seeded corpus three ways and records certs/sec for each:
+
+  - ``before``: the legacy per-lint loop with every derived-view cache
+    disabled (``run_lints(..., optimized=False)``) — the pre-change
+    behaviour, kept callable precisely so the speedup claim is measured
+    in the same tree it ships in;
+  - ``after``: the optimized single-process path (per-run LintContext,
+    RegistryIndex family skipping, effective-date bisect, memoized
+    extension/name views);
+  - ``after_jobs``: the optimized path through the sharded
+    multiprocessing pipeline at ``--jobs N``.
+
+  Every run asserts the three summaries serialize byte-identically
+  before any rate is reported, then writes the machine-readable record
+  to ``benchmarks/output/BENCH_lint_throughput.json``.
+
+* **Micro benchmarks** (pytest-benchmark) — single-certificate lint,
+  DER parse, Punycode round-trip, build+sign; unchanged componentry.
+
+CLI::
+
+    PYTHONPATH=src python benchmarks/bench_linter_throughput.py \
+        --scale 0.0002 --jobs 4
+    # regression gate against a committed record (CI bench-smoke):
+    ... --check benchmarks/output/BENCH_lint_throughput.json --tolerance 0.30
 """
 
+import argparse
 import datetime as dt
+import json
+import os
+import pathlib
+import sys
+import time
 
-from repro.lint import run_lints
+from repro.ct import CorpusGenerator
+from repro.lint import (
+    lint_corpus_parallel,
+    run_lints,
+    summarize,
+    summary_to_json,
+)
 from repro.uni import punycode
 from repro.x509 import (
     Certificate,
@@ -18,6 +55,177 @@ from repro.x509 import (
 )
 
 KEY = generate_keypair(seed=2024)
+
+DEFAULT_SCALE = float(os.environ.get("REPRO_BENCH_THROUGHPUT_SCALE", 1 / 5000))
+DEFAULT_SEED = int(os.environ.get("REPRO_BENCH_SEED", 2025))
+DEFAULT_JOBS = int(os.environ.get("REPRO_BENCH_THROUGHPUT_JOBS", 4))
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+RECORD_PATH = OUTPUT_DIR / "BENCH_lint_throughput.json"
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def measure(scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED, jobs: int = DEFAULT_JOBS) -> dict:
+    """Measure before/after corpus lint throughput; returns the record.
+
+    Equivalence is asserted, not sampled: the reference, optimized, and
+    ``--jobs N`` summaries must serialize byte-identically or the
+    benchmark dies before reporting a single rate.
+    """
+    corpus = CorpusGenerator(seed=seed, scale=scale).generate()
+    records = corpus.records
+    total = len(records)
+
+    before_reports, before_s = _timed(
+        lambda: [
+            run_lints(r.certificate, issued_at=r.issued_at, optimized=False)
+            for r in records
+        ]
+    )
+    after_reports, after_s = _timed(
+        lambda: [
+            run_lints(r.certificate, issued_at=r.issued_at) for r in records
+        ]
+    )
+    fanout, fanout_s = _timed(lambda: lint_corpus_parallel(corpus, jobs=jobs))
+
+    baseline_json = summary_to_json(summarize(before_reports))
+    assert summary_to_json(summarize(after_reports)) == baseline_json, (
+        "optimized single-process summary diverged from the reference path"
+    )
+    assert summary_to_json(fanout.summary) == baseline_json, (
+        f"--jobs {jobs} summary diverged from the reference path"
+    )
+
+    before_rate = total / before_s
+    after_rate = total / after_s
+    fanout_rate = total / fanout_s
+    return {
+        "bench": "lint_throughput",
+        "certs": total,
+        "scale": scale,
+        "seed": seed,
+        "before": {
+            "path": "unoptimized per-lint loop, caches disabled",
+            "seconds": round(before_s, 3),
+            "certs_per_sec": round(before_rate, 1),
+        },
+        "after": {
+            "path": "LintContext + RegistryIndex, single process",
+            "seconds": round(after_s, 3),
+            "certs_per_sec": round(after_rate, 1),
+        },
+        "after_jobs": {
+            "path": f"optimized sharded pipeline, --jobs {jobs}",
+            "jobs": jobs,
+            "shards": fanout.shards,
+            "seconds": round(fanout_s, 3),
+            "certs_per_sec": round(fanout_rate, 1),
+        },
+        "single_process_speedup": round(after_rate / before_rate, 2),
+        "summaries_byte_identical": True,
+    }
+
+
+def write_record(record: dict) -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    RECORD_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return RECORD_PATH
+
+
+def check_regression(record: dict, committed_path: pathlib.Path, tolerance: float) -> list[str]:
+    """Compare a fresh record against a committed one.
+
+    Returns failure messages (empty when the gate passes).  The gate is
+    on certs/sec of the optimized single-process path — the number the
+    PR's speedup claim is stated in — with ``tolerance`` headroom for
+    machine variance between the committing host and the CI runner.
+    """
+    committed = json.loads(committed_path.read_text())
+    failures: list[str] = []
+    baseline = committed["after"]["certs_per_sec"]
+    floor = baseline * (1.0 - tolerance)
+    fresh = record["after"]["certs_per_sec"]
+    if fresh < floor:
+        failures.append(
+            f"optimized throughput regressed: {fresh:.1f} certs/sec vs "
+            f"committed {baseline:.1f} (floor {floor:.1f} at "
+            f"{tolerance:.0%} tolerance)"
+        )
+    if not record["summaries_byte_identical"]:
+        failures.append("summaries no longer byte-identical")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--jobs", type=int, default=DEFAULT_JOBS)
+    parser.add_argument(
+        "--check",
+        type=pathlib.Path,
+        default=None,
+        metavar="RECORD",
+        help="compare against a committed BENCH_lint_throughput.json "
+        "instead of overwriting it",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed certs/sec regression fraction for --check "
+        "(default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    record = measure(scale=args.scale, seed=args.seed, jobs=args.jobs)
+    print(json.dumps(record, indent=2, sort_keys=True))
+
+    if args.check is not None:
+        failures = check_regression(record, args.check, args.tolerance)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+
+    path = write_record(record)
+    print(f"wrote {path}")
+    return 0
+
+
+def test_corpus_lint_throughput(write_output):
+    """Pytest entry: smaller corpus, asserts the >=2x speedup claim."""
+    record = measure(scale=1 / 20000)
+    write_output(
+        "bench_linter_throughput",
+        [
+            f"corpus: {record['certs']} certs (seed={record['seed']}, "
+            f"scale={record['scale']:g})",
+            f"before (uncached):  {record['before']['seconds']:8.2f}s  "
+            f"{record['before']['certs_per_sec']:10.1f} certs/s",
+            f"after  (optimized): {record['after']['seconds']:8.2f}s  "
+            f"{record['after']['certs_per_sec']:10.1f} certs/s",
+            f"after  (--jobs {record['after_jobs']['jobs']}):  "
+            f"{record['after_jobs']['seconds']:8.2f}s  "
+            f"{record['after_jobs']['certs_per_sec']:10.1f} certs/s",
+            f"single-process speedup: {record['single_process_speedup']:.2f}x",
+            "summaries byte-identical across all three paths: yes",
+        ],
+    )
+    assert record["single_process_speedup"] >= 2.0, (
+        f"expected >= 2x single-process speedup, "
+        f"measured {record['single_process_speedup']:.2f}x"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Component micro-benchmarks (pytest-benchmark)
+# ---------------------------------------------------------------------------
 
 
 def _sample_cert() -> Certificate:
@@ -53,3 +261,7 @@ def test_punycode_roundtrip_throughput(benchmark):
 def test_build_and_sign_throughput(benchmark):
     cert = benchmark(_sample_cert)
     assert cert.tbs_der
+
+
+if __name__ == "__main__":
+    sys.exit(main())

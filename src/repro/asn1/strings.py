@@ -77,16 +77,6 @@ def _teletex_allowed(ch: str) -> bool:
     return _visible_allowed(ch) or ch in _T61_EXTRA
 
 
-def _check_charset(text: str, allowed: Callable[[str], bool], type_name: str) -> None:
-    bad = sorted({ch for ch in text if not allowed(ch)})
-    if bad:
-        shown = ", ".join(f"U+{ord(ch):04X}" for ch in bad[:8])
-        raise CharsetError(
-            f"{type_name} contains character(s) outside its charset: {shown}",
-            offending="".join(bad),
-        )
-
-
 @dataclass(frozen=True)
 class StringSpec:
     """Codec + charset validator for one ASN.1 string type."""
@@ -97,13 +87,27 @@ class StringSpec:
     allowed: Callable[[str], bool] = field(repr=False)
     #: Python codec used for the raw octet transform.
     codec: str = "ascii"
+    #: Full enumerated charset when finite (enables set-difference checks
+    #: instead of a per-character predicate loop); ``None`` for the
+    #: Unicode-wide types whose charset cannot be enumerated.
+    charset: frozenset | None = field(default=None, repr=False)
 
     def validate(self, text: str) -> None:
         """Raise :class:`CharsetError` if ``text`` leaves the charset."""
-        _check_charset(text, self.allowed, self.name)
+        bad = self.violations(text)
+        if bad:
+            shown = ", ".join(f"U+{ord(ch):04X}" for ch in bad[:8])
+            raise CharsetError(
+                f"{self.name} contains character(s) outside its charset: {shown}",
+                offending="".join(bad),
+            )
 
     def violations(self, text: str) -> list[str]:
         """Return the distinct characters of ``text`` outside the charset."""
+        if self.charset is not None:
+            if self.tag_number == UniversalTag.IA5_STRING and text.isascii():
+                return []
+            return sorted(set(text) - self.charset)
         return sorted({ch for ch in text if not self.allowed(ch)})
 
     def encode(self, text: str, strict: bool = True) -> bytes:
@@ -232,19 +236,42 @@ class _TeletexStringSpec(StringSpec):
             ) from exc
 
 
+#: Enumerated charsets for the finite string types (set-difference path).
+IA5_STRING_CHARSET = frozenset(map(chr, range(0x80)))
+VISIBLE_STRING_CHARSET = frozenset(map(chr, range(0x20, 0x7F)))
+TELETEX_STRING_CHARSET = VISIBLE_STRING_CHARSET | _T61_EXTRA
+
 UTF8_STRING = StringSpec("UTF8String", UniversalTag.UTF8_STRING, _utf8_allowed, "utf-8")
 NUMERIC_STRING = StringSpec(
-    "NumericString", UniversalTag.NUMERIC_STRING, _numeric_allowed, "ascii"
+    "NumericString",
+    UniversalTag.NUMERIC_STRING,
+    _numeric_allowed,
+    "ascii",
+    NUMERIC_STRING_CHARSET,
 )
 PRINTABLE_STRING = StringSpec(
-    "PrintableString", UniversalTag.PRINTABLE_STRING, _printable_allowed, "ascii"
+    "PrintableString",
+    UniversalTag.PRINTABLE_STRING,
+    _printable_allowed,
+    "ascii",
+    PRINTABLE_STRING_CHARSET,
 )
 TELETEX_STRING = _TeletexStringSpec(
-    "TeletexString", UniversalTag.TELETEX_STRING, _teletex_allowed, "latin-1"
+    "TeletexString",
+    UniversalTag.TELETEX_STRING,
+    _teletex_allowed,
+    "latin-1",
+    TELETEX_STRING_CHARSET,
 )
-IA5_STRING = StringSpec("IA5String", UniversalTag.IA5_STRING, _ia5_allowed, "ascii")
+IA5_STRING = StringSpec(
+    "IA5String", UniversalTag.IA5_STRING, _ia5_allowed, "ascii", IA5_STRING_CHARSET
+)
 VISIBLE_STRING = StringSpec(
-    "VisibleString", UniversalTag.VISIBLE_STRING, _visible_allowed, "ascii"
+    "VisibleString",
+    UniversalTag.VISIBLE_STRING,
+    _visible_allowed,
+    "ascii",
+    VISIBLE_STRING_CHARSET,
 )
 UNIVERSAL_STRING = _UniversalStringSpec(
     "UniversalString", UniversalTag.UNIVERSAL_STRING, _universal_allowed, "utf-32-be"

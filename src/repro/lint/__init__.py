@@ -22,13 +22,16 @@ from .framework import (
     LintStatus,
     NoncomplianceType,
     REGISTRY,
+    RegistryIndex,
     RFC5280_DATE,
     RFC8399_DATE,
     RFC9549_DATE,
     RFC9598_DATE,
     Severity,
     Source,
+    index_for,
 )
+from .context import LintContext
 
 # Populate the registry (import order is unimportant; names are unique).
 from . import character  # noqa: F401  (T1)
@@ -73,6 +76,9 @@ __all__ = [
     "shard_bounds",
     "summarize_corpus_parallel",
     "REGISTRY",
+    "RegistryIndex",
+    "LintContext",
+    "index_for",
     "Lint",
     "LintMetadata",
     "LintResult",

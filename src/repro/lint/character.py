@@ -13,13 +13,18 @@ from ..uni import (
     BIDI_CONTROLS,
     INVISIBLE_CHARACTERS,
     alabel_violations,
-    is_xn_label,
-    label_violations,
     mixed_script_confusable,
-    punycode,
 )
-from ..uni.errors import PunycodeError
 from ..x509 import Certificate, GeneralNameKind
+from .context import (
+    FAMILY_CP,
+    FAMILY_CRLDP,
+    FAMILY_DNS,
+    FAMILY_XN,
+    ian_family,
+    san_family,
+    spec_family,
+)
 from .framework import (
     CABF_BR_DATE,
     COMMUNITY_DATE,
@@ -31,12 +36,15 @@ from .framework import (
 )
 from .helpers import (
     CONTROL_CHARS,
+    VISIBLE_ASCII,
+    alabel_decodings,
     all_dns_names,
     describe_chars,
     dn_charset_lint,
     ian_names,
     register_lint,
     san_names,
+    xn_labels as _xn_labels,
 )
 
 # ---------------------------------------------------------------------------
@@ -44,8 +52,8 @@ from .helpers import (
 # ---------------------------------------------------------------------------
 
 
-def _control_char_violation(value: str) -> str | None:
-    bad = sorted({ch for ch in value if ch in CONTROL_CHARS})
+def _control_char_violation(attr) -> str | None:
+    bad = sorted(CONTROL_CHARS & attr.char_set)
     if bad:
         return f"contains control character(s) {describe_chars(bad)}"
     return None
@@ -59,7 +67,7 @@ dn_charset_lint(
     severity=Severity.ERROR,
     effective_date=RFC5280_DATE,
     new=False,
-    value_predicate=_control_char_violation,
+    attr_predicate=_control_char_violation,
 )
 dn_charset_lint(
     name="e_rfc_issuer_dn_not_printable_characters",
@@ -70,7 +78,7 @@ dn_charset_lint(
     effective_date=RFC5280_DATE,
     new=False,
     issuer=True,
-    value_predicate=_control_char_violation,
+    attr_predicate=_control_char_violation,
 )
 
 
@@ -144,8 +152,8 @@ dn_charset_lint(
 )
 
 
-def _bidi_control(value: str) -> str | None:
-    bad = sorted({ch for ch in value if ord(ch) in BIDI_CONTROLS})
+def _bidi_control(attr) -> str | None:
+    bad = sorted(ch for ch in attr.char_set if ord(ch) in BIDI_CONTROLS)
     if bad:
         return f"contains bidi control(s) {describe_chars(bad)}"
     return None
@@ -159,13 +167,15 @@ dn_charset_lint(
     severity=Severity.ERROR,
     effective_date=RFC5280_DATE,
     new=True,
-    value_predicate=_bidi_control,
+    attr_predicate=_bidi_control,
 )
 
 
-def _invisible(value: str) -> str | None:
+def _invisible(attr) -> str | None:
     bad = sorted(
-        {ch for ch in value if ord(ch) in INVISIBLE_CHARACTERS and ord(ch) not in BIDI_CONTROLS}
+        ch
+        for ch in attr.char_set
+        if ord(ch) in INVISIBLE_CHARACTERS and ord(ch) not in BIDI_CONTROLS
     )
     if bad:
         return f"contains invisible character(s) {describe_chars(bad)}"
@@ -180,7 +190,7 @@ dn_charset_lint(
     severity=Severity.ERROR,
     effective_date=RFC5280_DATE,
     new=True,
-    value_predicate=_invisible,
+    attr_predicate=_invisible,
 )
 
 
@@ -254,6 +264,7 @@ register_lint(
     new=False,
     applies=_badalpha_applies,
     check=_badalpha_check,
+    families={spec_family("PrintableString")},
 )
 
 # ---------------------------------------------------------------------------
@@ -293,6 +304,7 @@ register_lint(
     new=False,
     applies=_has_dns_names,
     check=_check_label_charset,
+    families={FAMILY_DNS},
 )
 
 
@@ -314,21 +326,13 @@ register_lint(
     new=False,
     applies=_has_dns_names,
     check=_check_dns_whitespace,
+    families={FAMILY_DNS},
 )
 
 
-def _xn_labels(cert: Certificate) -> list[str]:
-    labels = []
-    for dns_name in all_dns_names(cert):
-        labels.extend(label for label in dns_name.split(".") if is_xn_label(label))
-    return labels
-
-
 def _check_idn_decodable(cert: Certificate) -> tuple[bool, str]:
-    for label in _xn_labels(cert):
-        try:
-            punycode.decode(label[4:])
-        except PunycodeError as exc:
+    for label, _ulabel, exc in alabel_decodings(cert):
+        if exc is not None:
             return False, f"A-label {label!r} cannot convert to Unicode: {exc}"
     return True, ""
 
@@ -344,14 +348,13 @@ register_lint(
     new=False,
     applies=lambda cert: bool(_xn_labels(cert)),
     check=_check_idn_decodable,
+    families={FAMILY_XN},
 )
 
 
 def _check_idn_permitted(cert: Certificate) -> tuple[bool, str]:
-    for label in _xn_labels(cert):
-        try:
-            punycode.decode(label[4:])
-        except PunycodeError:
+    for label, _ulabel, exc in alabel_decodings(cert):
+        if exc is not None:
             continue  # Covered by e_rfc_dns_idn_malformed_unicode.
         problems = [
             p
@@ -374,6 +377,7 @@ register_lint(
     new=True,
     applies=lambda cert: bool(_xn_labels(cert)),
     check=_check_idn_permitted,
+    families={FAMILY_XN},
 )
 
 # ---------------------------------------------------------------------------
@@ -387,7 +391,7 @@ def _make_san_unpermitted_lint(name, kind, label, new=True):
 
     def check(cert: Certificate) -> tuple[bool, str]:
         for gn in san_names(cert, kind):
-            bad = sorted({ch for ch in gn.value if not 0x21 <= ord(ch) <= 0x7E})
+            bad = sorted(gn.char_set - VISIBLE_ASCII)
             if bad:
                 return False, (
                     f"{label} {gn.value!r} contains unpermitted character(s) "
@@ -406,6 +410,7 @@ def _make_san_unpermitted_lint(name, kind, label, new=True):
         new=new,
         applies=applies,
         check=check,
+        families={san_family(kind)},
     )
 
 
@@ -430,7 +435,7 @@ def _email_names(cert: Certificate):
 
 def _check_email_controls(cert: Certificate) -> tuple[bool, str]:
     for gn in _email_names(cert):
-        if any(ch in CONTROL_CHARS for ch in gn.value):
+        if not CONTROL_CHARS.isdisjoint(gn.char_set):
             return False, f"email {gn.value!r} contains control characters"
     return True, ""
 
@@ -446,6 +451,10 @@ register_lint(
     new=False,
     applies=lambda cert: bool(_email_names(cert)),
     check=_check_email_controls,
+    families={
+        san_family(GeneralNameKind.RFC822_NAME),
+        ian_family(GeneralNameKind.RFC822_NAME),
+    },
 )
 
 
@@ -455,7 +464,7 @@ def _uri_names_all(cert: Certificate):
 
 def _check_uri_controls(cert: Certificate) -> tuple[bool, str]:
     for gn in _uri_names_all(cert):
-        if any(ch in CONTROL_CHARS for ch in gn.value):
+        if not CONTROL_CHARS.isdisjoint(gn.char_set):
             return False, f"URI {gn.value!r} contains control characters"
     return True, ""
 
@@ -471,6 +480,7 @@ register_lint(
     new=False,
     applies=lambda cert: bool(_uri_names_all(cert)),
     check=_check_uri_controls,
+    families={san_family(GeneralNameKind.URI), ian_family(GeneralNameKind.URI)},
 )
 
 
@@ -483,7 +493,7 @@ def _crldp_names(cert: Certificate):
 
 def _check_crldp_controls(cert: Certificate) -> tuple[bool, str]:
     for gn in _crldp_names(cert):
-        if any(ch in CONTROL_CHARS for ch in gn.value):
+        if not CONTROL_CHARS.isdisjoint(gn.char_set):
             return False, (
                 f"CRL distribution point {gn.value!r} contains control characters "
                 "(revocation-subversion vector)"
@@ -502,6 +512,7 @@ register_lint(
     new=True,
     applies=lambda cert: bool(_crldp_names(cert)),
     check=_check_crldp_controls,
+    families={FAMILY_CRLDP},
 )
 
 
@@ -512,7 +523,7 @@ def _cp_has_text(cert: Certificate) -> bool:
 
 def _check_cp_text_controls(cert: Certificate) -> tuple[bool, str]:
     for _tag, text, _ok in cert.policies.explicit_texts:
-        bad = sorted({ch for ch in text if ch in CONTROL_CHARS})
+        bad = sorted(CONTROL_CHARS.intersection(text))
         if bad:
             return False, f"explicitText contains control character(s) {describe_chars(bad)}"
     return True, ""
@@ -529,4 +540,5 @@ register_lint(
     new=True,
     applies=_cp_has_text,
     check=_check_cp_text_controls,
+    families={FAMILY_CP},
 )

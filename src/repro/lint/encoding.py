@@ -39,6 +39,16 @@ from ..asn1.oid import (
     OID_USER_ID,
 )
 from ..x509 import Certificate, GeneralNameKind
+from .context import (
+    FAMILY_AIA,
+    FAMILY_CP,
+    FAMILY_CRLDP,
+    FAMILY_ISSUER_ANY,
+    FAMILY_SIA,
+    FAMILY_SUBJECT_ANY,
+    ian_family,
+    san_family,
+)
 from .framework import (
     CABF_BR_DATE,
     NoncomplianceType,
@@ -240,6 +250,9 @@ def _make_deprecated_type_lint(name, type_name, issuer, new):
         new=new,
         applies=applies,
         check=check,
+        # applies() keys on a nonempty DN, not on the deprecated type
+        # being present, so the family is the whole-DN bucket.
+        families={FAMILY_ISSUER_ANY if issuer else FAMILY_SUBJECT_ANY},
     )
 
 
@@ -257,30 +270,35 @@ gn_ia5_encoding_lint(
     label="SAN DNSName",
     extractor=lambda cert: san_names(cert, GeneralNameKind.DNS_NAME),
     effective_date=RFC5280_DATE,
+    families={san_family(GeneralNameKind.DNS_NAME)},
 )
 gn_ia5_encoding_lint(
     name="e_ext_san_rfc822_not_ia5string",
     label="SAN RFC822Name",
     extractor=lambda cert: san_names(cert, GeneralNameKind.RFC822_NAME),
     effective_date=RFC5280_DATE,
+    families={san_family(GeneralNameKind.RFC822_NAME)},
 )
 gn_ia5_encoding_lint(
     name="e_ext_san_uri_not_ia5string",
     label="SAN URI",
     extractor=lambda cert: san_names(cert, GeneralNameKind.URI),
     effective_date=RFC5280_DATE,
+    families={san_family(GeneralNameKind.URI)},
 )
 gn_ia5_encoding_lint(
     name="e_ext_ian_dns_not_ia5string",
     label="IAN DNSName",
     extractor=lambda cert: ian_names(cert, GeneralNameKind.DNS_NAME),
     effective_date=RFC5280_DATE,
+    families={ian_family(GeneralNameKind.DNS_NAME)},
 )
 gn_ia5_encoding_lint(
     name="e_ext_ian_rfc822_not_ia5string",
     label="IAN RFC822Name",
     extractor=lambda cert: ian_names(cert, GeneralNameKind.RFC822_NAME),
     effective_date=RFC5280_DATE,
+    families={ian_family(GeneralNameKind.RFC822_NAME)},
 )
 
 
@@ -295,12 +313,14 @@ gn_ia5_encoding_lint(
     label="AIA accessLocation",
     extractor=lambda cert: _uri_names(cert.aia),
     effective_date=RFC5280_DATE,
+    families={FAMILY_AIA},
 )
 gn_ia5_encoding_lint(
     name="e_ext_sia_location_not_ia5string",
     label="SIA accessLocation",
     extractor=lambda cert: _uri_names(cert.sia),
     effective_date=RFC5280_DATE,
+    families={FAMILY_SIA},
 )
 
 
@@ -316,6 +336,7 @@ gn_ia5_encoding_lint(
     label="CRLDistributionPoints URI",
     extractor=_crldp_uris,
     effective_date=RFC5280_DATE,
+    families={FAMILY_CRLDP},
 )
 
 # ---------------------------------------------------------------------------
@@ -349,6 +370,7 @@ register_lint(
     new=False,
     applies=_has_explicit_text,
     check=_check_explicit_text_not_utf8,
+    families={FAMILY_CP},
 )
 
 
@@ -370,6 +392,7 @@ register_lint(
     new=False,
     applies=_has_explicit_text,
     check=_check_explicit_text_ia5,
+    families={FAMILY_CP},
 )
 
 
@@ -396,6 +419,7 @@ register_lint(
     new=True,
     applies=_has_cps_uri,
     check=_check_cps_uri_ia5,
+    families={FAMILY_CP},
 )
 
 # ---------------------------------------------------------------------------
@@ -445,6 +469,10 @@ register_lint(
     new=True,
     applies=lambda cert: bool(_smtp_utf8_names(cert)),
     check=_check_smtp_utf8_is_utf8,
+    families={
+        san_family(GeneralNameKind.OTHER_NAME),
+        ian_family(GeneralNameKind.OTHER_NAME),
+    },
 )
 
 
@@ -469,6 +497,10 @@ register_lint(
     new=True,
     applies=lambda cert: bool(_smtp_utf8_names(cert)),
     check=_check_smtp_utf8_not_ascii_only,
+    families={
+        san_family(GeneralNameKind.OTHER_NAME),
+        ian_family(GeneralNameKind.OTHER_NAME),
+    },
 )
 
 
@@ -499,6 +531,10 @@ register_lint(
     new=True,
     applies=lambda cert: bool(_rfc822_all(cert)),
     check=_check_rfc822_ascii_local,
+    families={
+        san_family(GeneralNameKind.RFC822_NAME),
+        ian_family(GeneralNameKind.RFC822_NAME),
+    },
 )
 
 

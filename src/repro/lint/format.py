@@ -16,6 +16,16 @@ from ..asn1.oid import (
     OID_STATE_OR_PROVINCE,
 )
 from ..x509 import Certificate, GeneralNameKind
+from .context import (
+    FAMILY_CP,
+    FAMILY_CRLDP,
+    FAMILY_DNS,
+    FAMILY_SAN_PRESENT,
+    FAMILY_SUBJECT_ANY,
+    ian_family,
+    san_family,
+    subject_family,
+)
 from .framework import (
     CABF_BR_DATE,
     NoncomplianceType,
@@ -51,6 +61,7 @@ def _make_length_lint(name, oid, label, maximum):
         new=False,
         applies=applies,
         check=check,
+        families={subject_family(oid)},
     )
 
 
@@ -92,6 +103,7 @@ register_lint(
     new=False,
     applies=_country_applies,
     check=_check_country_two_letter,
+    families={subject_family(OID_COUNTRY_NAME)},
 )
 
 
@@ -113,6 +125,7 @@ register_lint(
     new=False,
     applies=_country_applies,
     check=_check_country_uppercase,
+    families={subject_family(OID_COUNTRY_NAME)},
 )
 
 
@@ -137,6 +150,7 @@ def _make_dns_lint(name, description, citation, source, effective_date, checker)
         new=False,
         applies=_has_dns,
         check=checker,
+        families={FAMILY_DNS},
     )
 
 
@@ -229,6 +243,7 @@ register_lint(
     new=False,
     applies=lambda cert: bool(san_names(cert, GeneralNameKind.DNS_NAME)),
     check=_check_port_or_path,
+    families={san_family(GeneralNameKind.DNS_NAME)},
 )
 
 
@@ -261,6 +276,10 @@ register_lint(
     new=False,
     applies=lambda cert: bool(_emails(cert)),
     check=_check_email_shape,
+    families={
+        san_family(GeneralNameKind.RFC822_NAME),
+        ian_family(GeneralNameKind.RFC822_NAME),
+    },
 )
 
 
@@ -298,6 +317,11 @@ register_lint(
     new=False,
     applies=lambda cert: bool(_uris(cert)),
     check=_check_uri_scheme,
+    families={
+        san_family(GeneralNameKind.URI),
+        ian_family(GeneralNameKind.URI),
+        FAMILY_CRLDP,
+    },
 )
 
 
@@ -324,6 +348,7 @@ register_lint(
     new=False,
     applies=lambda cert: not cert.subject.is_empty,
     check=_check_empty_attr,
+    families={FAMILY_SUBJECT_ANY},
 )
 
 
@@ -352,6 +377,7 @@ register_lint(
     new=False,
     applies=lambda cert: cert.san is not None,
     check=_check_empty_san,
+    families={FAMILY_SAN_PRESENT},
 )
 
 
@@ -378,6 +404,7 @@ register_lint(
     new=False,
     applies=_cp_has_text,
     check=_check_text_length,
+    families={FAMILY_CP},
 )
 
 

@@ -11,6 +11,7 @@ as the paper's methodology prescribes (Section 3.1.2).
 from __future__ import annotations
 
 import abc
+import bisect
 import datetime as _dt
 import enum
 from dataclasses import dataclass, field
@@ -137,6 +138,14 @@ class Lint(abc.ABC):
 
     metadata: LintMetadata
 
+    #: The certificate field families this lint can apply to, or ``None``
+    #: when applicability cannot be keyed on field presence.  The
+    #: contract is one-directional: ``applies(cert)`` returning True MUST
+    #: imply at least one family is present on the certificate, so the
+    #: scheduler may skip the lint (yielding the same dropped-NA outcome)
+    #: whenever every family is absent.
+    families: frozenset | None = None
+
     def applies(self, cert: Certificate) -> bool:
         """Whether the certificate carries the field this lint checks."""
         return True
@@ -171,10 +180,11 @@ class Lint(abc.ABC):
 class FunctionLint(Lint):
     """A lint assembled from plain functions (used by the factories)."""
 
-    def __init__(self, metadata, applies_fn, check_fn):
+    def __init__(self, metadata, applies_fn, check_fn, families=None):
         self.metadata = metadata
         self._applies = applies_fn
         self._check = check_fn
+        self.families = frozenset(families) if families is not None else None
 
     def applies(self, cert: Certificate) -> bool:
         return self._applies(cert)
@@ -229,6 +239,68 @@ class LintRegistry:
 
     def new_lints(self) -> list[Lint]:
         return [l for l in self._lints.values() if l.metadata.new]
+
+
+class RegistryIndex:
+    """Pre-indexed schedule for a fixed lint sequence.
+
+    Built once per worker (or memoized per lint tuple) and reused across
+    every certificate of a run.  Two scheduling shortcuts live here:
+
+    * **Family buckets** — each lint carries the set of field families it
+      can apply to (:attr:`Lint.families`); the runner intersects that
+      against the certificate's present-family set and skips whole
+      families with one ``isdisjoint`` call instead of invoking
+      ``applies()`` per lint.  Skipping is equivalence-preserving by the
+      families contract: family absent ⇒ ``applies()`` False ⇒ the NA
+      result the report would have dropped anyway.
+    * **Effective-date bisect** — the distinct effective dates are
+      pre-sorted, so "which lints are not yet effective at ``issued_at``"
+      is one :func:`bisect.bisect_right` plus a memoized frozenset
+      lookup rather than a datetime comparison per failing lint.
+    """
+
+    def __init__(self, lints):
+        self.lints = tuple(lints)
+        self.entries = tuple((lint, lint.families) for lint in self.lints)
+        self._dates_sorted = sorted({l.metadata.effective_date for l in self.lints})
+        self._not_effective_memo: dict[int, frozenset] = {}
+
+    def not_effective_names(self, when: _dt.datetime) -> frozenset:
+        """Names of lints whose effective date is after ``when``.
+
+        ``when`` must already be UTC-naive (see :func:`to_utc_naive`).
+        Membership only depends on where ``when`` falls between the
+        distinct effective dates, so results are memoized per cut point.
+        """
+        cut = bisect.bisect_right(self._dates_sorted, when)
+        memo = self._not_effective_memo.get(cut)
+        if memo is None:
+            if cut == len(self._dates_sorted):
+                memo = frozenset()
+            else:
+                threshold = self._dates_sorted[cut]
+                memo = frozenset(
+                    lint.metadata.name
+                    for lint in self.lints
+                    if lint.metadata.effective_date >= threshold
+                )
+            self._not_effective_memo[cut] = memo
+        return memo
+
+
+#: Index memo keyed by the exact lint tuple (tuple equality falls back to
+#: per-element identity, so repeated ``run_lints(lints=[...])`` calls on
+#: the same lint objects reuse one index).
+_INDEX_MEMO: dict[tuple, RegistryIndex] = {}
+
+
+def index_for(lints: tuple) -> RegistryIndex:
+    """The memoized :class:`RegistryIndex` for a lint tuple."""
+    index = _INDEX_MEMO.get(lints)
+    if index is None:
+        index = _INDEX_MEMO[lints] = RegistryIndex(lints)
+    return index
 
 
 #: The package-wide registry; populated on import of :mod:`repro.lint`.

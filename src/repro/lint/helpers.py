@@ -11,7 +11,15 @@ from ..asn1 import (
     UTF8_STRING,
 )
 from ..asn1.oid import ObjectIdentifier
+from ..uni import is_xn_label, punycode
+from ..uni.errors import PunycodeError
 from ..x509 import AttributeTypeAndValue, Certificate, GeneralName, GeneralNameKind
+from .context import (
+    FAMILY_ISSUER_ANY,
+    FAMILY_SUBJECT_ANY,
+    issuer_family,
+    subject_family,
+)
 from .framework import (
     FunctionLint,
     LintMetadata,
@@ -27,15 +35,21 @@ from .framework import (
 
 CONTROL_CHARS = frozenset(chr(cp) for cp in (*range(0x00, 0x20), 0x7F))
 
+#: Visible US-ASCII plus space — the paper's "printable" core.
+PRINTABLE_ASCII = frozenset(map(chr, range(0x20, 0x7F)))
+
+#: Visible US-ASCII (no space): the GeneralName-permitted range.
+VISIBLE_ASCII = frozenset(map(chr, range(0x21, 0x7F)))
+
 
 def has_control_characters(text: str) -> bool:
     """Whether ``text`` contains C0 controls or DEL."""
-    return any(ch in CONTROL_CHARS for ch in text)
+    return not CONTROL_CHARS.isdisjoint(text)
 
 
 def non_printable_ascii(text: str) -> list[str]:
     """Characters outside U+0020..U+007E (the paper's core definition)."""
-    return sorted({ch for ch in text if not 0x20 <= ord(ch) <= 0x7E})
+    return sorted(set(text) - PRINTABLE_ASCII)
 
 
 def describe_chars(chars: Iterable[str]) -> str:
@@ -60,6 +74,9 @@ def issuer_attrs(cert: Certificate, oid: ObjectIdentifier) -> list[AttributeType
 
 def san_names(cert: Certificate, kind: GeneralNameKind) -> list[GeneralName]:
     """SAN GeneralNames of one kind (empty when no SAN)."""
+    ctx = getattr(cert, "_lint_ctx", None)
+    if ctx is not None:
+        return ctx.san_names(kind)
     san = cert.san
     if san is None:
         return []
@@ -68,19 +85,66 @@ def san_names(cert: Certificate, kind: GeneralNameKind) -> list[GeneralName]:
 
 def ian_names(cert: Certificate, kind: GeneralNameKind) -> list[GeneralName]:
     """IAN GeneralNames of one kind (empty when no IAN)."""
+    ctx = getattr(cert, "_lint_ctx", None)
+    if ctx is not None:
+        return ctx.ian_names(kind)
     ian = cert.ian
     if ian is None:
         return []
     return [gn for gn in ian.names if gn.kind is kind]
 
 
-def all_dns_names(cert: Certificate) -> list[str]:
-    """DNSNames in SAN plus DNS-shaped CommonNames (the paper's scope)."""
-    names = [gn.value for gn in san_names(cert, GeneralNameKind.DNS_NAME)]
+def compute_all_dns_names(cert: Certificate) -> list[str]:
+    """Uncontexted :func:`all_dns_names` (also the LintContext fill path)."""
+    san = cert.san
+    names = (
+        [gn.value for gn in san.names if gn.kind is GeneralNameKind.DNS_NAME]
+        if san is not None
+        else []
+    )
     for cn in cert.subject_common_names:
         if "." in cn and " " not in cn and "@" not in cn:
             names.append(cn)
-    return names
+    # A CN repeated in the SAN (the CA/B-mandated layout) must not yield
+    # the name twice — per-name lint messages would double-count it.
+    return list(dict.fromkeys(names))
+
+
+def all_dns_names(cert: Certificate) -> list[str]:
+    """Distinct DNSNames in SAN plus DNS-shaped CommonNames, in order."""
+    ctx = getattr(cert, "_lint_ctx", None)
+    if ctx is not None:
+        return ctx.all_dns_names()
+    return compute_all_dns_names(cert)
+
+
+def xn_labels(cert: Certificate) -> list[str]:
+    """All ``xn--`` (A-label) DNS labels across the cert's DNS names."""
+    ctx = getattr(cert, "_lint_ctx", None)
+    if ctx is not None:
+        return ctx.xn_labels()
+    return [
+        label
+        for dns_name in all_dns_names(cert)
+        for label in dns_name.split(".")
+        if is_xn_label(label)
+    ]
+
+
+def decode_alabel(label: str) -> tuple[str, str | None, PunycodeError | None]:
+    """Decode one A-label: ``(label, ulabel | None, error | None)``."""
+    try:
+        return (label, punycode.decode(label[4:]), None)
+    except PunycodeError as exc:
+        return (label, None, exc)
+
+
+def alabel_decodings(cert: Certificate) -> list[tuple[str, str | None, PunycodeError | None]]:
+    """Punycode decode outcome for every A-label (memoized per run)."""
+    ctx = getattr(cert, "_lint_ctx", None)
+    if ctx is not None:
+        return ctx.alabel_decodings()
+    return [decode_alabel(label) for label in xn_labels(cert)]
 
 
 # ---------------------------------------------------------------------------
@@ -100,8 +164,14 @@ def register_lint(
     new: bool,
     applies: Callable[[Certificate], bool],
     check: Callable[[Certificate], tuple[bool, str]],
+    families: Iterable | None = None,
 ) -> FunctionLint:
-    """Assemble and register a FunctionLint."""
+    """Assemble and register a FunctionLint.
+
+    ``families`` declares the field families the lint can apply to (see
+    :class:`repro.lint.framework.RegistryIndex`); leave ``None`` when
+    ``applies`` is not keyed on field presence.
+    """
     metadata = LintMetadata(
         name=name,
         description=description,
@@ -112,7 +182,7 @@ def register_lint(
         effective_date=effective_date,
         new=new,
     )
-    return REGISTRY.register(FunctionLint(metadata, applies, check))
+    return REGISTRY.register(FunctionLint(metadata, applies, check, families))
 
 
 def dn_encoding_lint(
@@ -161,6 +231,7 @@ def dn_encoding_lint(
         new=new,
         applies=applies,
         check=check,
+        families={issuer_family(oid) if issuer else subject_family(oid)},
     )
 
 
@@ -174,12 +245,19 @@ def dn_charset_lint(
     effective_date,
     new: bool,
     issuer: bool = False,
-    value_predicate: Callable[[str], str | None],
+    value_predicate: Callable[[str], str | None] | None = None,
+    attr_predicate: Callable[[AttributeTypeAndValue], str | None] | None = None,
 ) -> FunctionLint:
     """Factory: run a character predicate over every DN attribute value.
 
-    ``value_predicate`` returns a violation description or ``None``.
+    Pass either ``value_predicate`` (receives ``attr.value``) or
+    ``attr_predicate`` (receives the attribute, letting the predicate
+    use the memoized ``attr.char_set``).  Both return a violation
+    description or ``None``.
     """
+    if (value_predicate is None) == (attr_predicate is None):
+        raise ValueError("provide exactly one of value_predicate/attr_predicate")
+    predicate = attr_predicate or (lambda attr: value_predicate(attr.value))
 
     def applies(cert: Certificate) -> bool:
         name_obj = cert.issuer if issuer else cert.subject
@@ -188,7 +266,7 @@ def dn_charset_lint(
     def check(cert: Certificate) -> tuple[bool, str]:
         name_obj = cert.issuer if issuer else cert.subject
         for attr in name_obj.attributes():
-            problem = value_predicate(attr.value)
+            problem = predicate(attr)
             if problem:
                 return False, f"{attr.short_name}: {problem}"
         return True, ""
@@ -204,6 +282,7 @@ def dn_charset_lint(
         new=new,
         applies=applies,
         check=check,
+        families={FAMILY_ISSUER_ANY if issuer else FAMILY_SUBJECT_ANY},
     )
 
 
@@ -216,6 +295,7 @@ def gn_ia5_encoding_lint(
     source: Source = Source.RFC5280,
     citation: str = "RFC 5280 4.2.1.6 (GeneralName IA5String)",
     new: bool = True,
+    families: Iterable | None = None,
 ) -> FunctionLint:
     """Factory: a GeneralName alternative must carry pure-IA5 octets."""
 
@@ -224,7 +304,7 @@ def gn_ia5_encoding_lint(
 
     def check(cert: Certificate) -> tuple[bool, str]:
         for gn in extractor(cert):
-            if not gn.decode_ok or any(ord(ch) > 0x7F for ch in gn.value):
+            if not gn.decode_ok or not gn.value.isascii():
                 return False, f"{label} contains non-IA5 octets: {gn.value!r}"
         return True, ""
 
@@ -239,4 +319,5 @@ def gn_ia5_encoding_lint(
         new=new,
         applies=applies,
         check=check,
+        families=families,
     )

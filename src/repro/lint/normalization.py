@@ -7,9 +7,10 @@ canonical Punycode form so display/comparison round-trips are stable.
 
 from __future__ import annotations
 
-from ..uni import is_nfc, is_xn_label, nfc_violations, punycode, ulabel_to_alabel
-from ..uni.errors import IDNAError, PunycodeError
+from ..uni import is_nfc, nfc_violations, ulabel_to_alabel
+from ..uni.errors import IDNAError
 from ..x509 import Certificate, GeneralNameKind
+from .context import FAMILY_XN, ian_family, san_family, spec_family
 from .framework import (
     IDNA2008_DATE,
     NoncomplianceType,
@@ -18,7 +19,7 @@ from .framework import (
     Severity,
     Source,
 )
-from .helpers import all_dns_names, register_lint, san_names
+from .helpers import alabel_decodings, register_lint
 
 
 def _utf8_attrs(cert: Certificate):
@@ -46,24 +47,16 @@ register_lint(
     new=False,
     applies=lambda cert: any(True for _ in _utf8_attrs(cert)),
     check=_check_utf8_nfc,
+    families={spec_family("UTF8String")},
 )
 
 
-def _xn_labels(cert: Certificate) -> list[str]:
-    labels = []
-    for dns_name in all_dns_names(cert):
-        labels.extend(label for label in dns_name.split(".") if is_xn_label(label))
-    return labels
-
-
 def _decodable_labels(cert: Certificate) -> list[tuple[str, str]]:
-    pairs = []
-    for label in _xn_labels(cert):
-        try:
-            pairs.append((label, punycode.decode(label[4:])))
-        except PunycodeError:
-            continue
-    return pairs
+    return [
+        (label, ulabel)
+        for label, ulabel, error in alabel_decodings(cert)
+        if error is None
+    ]
 
 
 def _check_ulabel_nfc(cert: Certificate) -> tuple[bool, str]:
@@ -84,6 +77,7 @@ register_lint(
     new=True,
     applies=lambda cert: bool(_decodable_labels(cert)),
     check=_check_ulabel_nfc,
+    families={FAMILY_XN},
 )
 
 
@@ -112,6 +106,7 @@ register_lint(
     new=True,
     applies=lambda cert: bool(_decodable_labels(cert)),
     check=_check_alabel_roundtrip,
+    families={FAMILY_XN},
 )
 
 
@@ -149,4 +144,8 @@ register_lint(
     new=True,
     applies=lambda cert: bool(_smtp_utf8_names(cert)),
     check=_check_mailbox_nfc,
+    families={
+        san_family(GeneralNameKind.OTHER_NAME),
+        ian_family(GeneralNameKind.OTHER_NAME),
+    },
 )

@@ -40,7 +40,7 @@ import os
 import traceback
 from dataclasses import dataclass, field
 
-from .framework import REGISTRY, Lint
+from .framework import REGISTRY, Lint, RegistryIndex, index_for
 from .runner import CertificateReport, CorpusSummary, run_lints
 
 #: Default over-decomposition factor: more shards than workers keeps the
@@ -73,6 +73,9 @@ class ShardTask:
     issued_at: tuple[_dt.datetime | None, ...]
     respect_effective_dates: bool = True
     collect_reports: bool = False
+    #: False runs the legacy per-lint loop with caching disabled — the
+    #: reference path the equivalence tests and benchmarks compare with.
+    optimized: bool = True
 
 
 @dataclass
@@ -142,16 +145,18 @@ def default_shard_count(total: int, jobs: int) -> int:
 # Worker side
 # ---------------------------------------------------------------------------
 
-#: Per-worker-process cache of the resolved registry, so each worker
-#: resolves the lint list once, not once per certificate.
-_WORKER_LINTS: tuple[Lint, ...] | None = None
+#: Per-worker-process cache of the resolved registry and its prebuilt
+#: schedule, so each worker resolves the lint list and builds the
+#: :class:`RegistryIndex` once, not once per certificate.
+_WORKER_SCHEDULE: tuple[tuple[Lint, ...], RegistryIndex] | None = None
 
 
-def _worker_lints() -> tuple[Lint, ...]:
-    global _WORKER_LINTS
-    if _WORKER_LINTS is None:
-        _WORKER_LINTS = REGISTRY.snapshot()
-    return _WORKER_LINTS
+def _worker_schedule() -> tuple[tuple[Lint, ...], RegistryIndex]:
+    global _WORKER_SCHEDULE
+    if _WORKER_SCHEDULE is None:
+        lints = REGISTRY.snapshot()
+        _WORKER_SCHEDULE = (lints, index_for(lints))
+    return _WORKER_SCHEDULE
 
 
 def lint_shard(task: ShardTask) -> ShardResult:
@@ -169,7 +174,7 @@ def lint_shard(task: ShardTask) -> ShardResult:
         [] if task.collect_reports else None
     )
     try:
-        lints = _worker_lints()
+        lints, index = _worker_schedule()
         for der, issued_at in zip(task.certs_der, task.issued_at):
             cert = Certificate.from_der(der)
             report = run_lints(
@@ -177,6 +182,8 @@ def lint_shard(task: ShardTask) -> ShardResult:
                 issued_at=issued_at,
                 lints=lints,
                 respect_effective_dates=task.respect_effective_dates,
+                optimized=task.optimized,
+                index=index,
             )
             result.summary.add(report)
             if reports is not None:
@@ -204,12 +211,15 @@ def lint_ders_to_json(
     from ..x509 import Certificate
     from .serialization import report_to_json
 
-    lints = _worker_lints()
+    lints, index = _worker_schedule()
     out: list[str] = []
     for der in ders:
         cert = Certificate.from_der(der)
         report = run_lints(
-            cert, lints=lints, respect_effective_dates=respect_effective_dates
+            cert,
+            lints=lints,
+            respect_effective_dates=respect_effective_dates,
+            index=index,
         )
         out.append(report_to_json(report, cert))
     return out
@@ -231,7 +241,8 @@ class LintPool:
     and the service batcher (:func:`lint_ders_to_json` strings).
 
     The executor is created lazily on first submit and workers cache the
-    registry snapshot exactly as before (:func:`_worker_lints`).
+    registry snapshot and its prebuilt index exactly as before
+    (:func:`_worker_schedule`).
     """
 
     def __init__(self, jobs: int | None = None):
@@ -282,6 +293,7 @@ def build_shard_tasks(
     shards: int,
     respect_effective_dates: bool = True,
     collect_reports: bool = False,
+    optimized: bool = True,
 ) -> list[ShardTask]:
     """Serialize a corpus into deterministic per-shard worker tasks."""
     records = _records_of(corpus)
@@ -295,6 +307,7 @@ def build_shard_tasks(
                 issued_at=tuple(r.issued_at for r in chunk),
                 respect_effective_dates=respect_effective_dates,
                 collect_reports=collect_reports,
+                optimized=optimized,
             )
         )
     return tasks
@@ -330,6 +343,7 @@ def lint_corpus_parallel(
     shards: int | None = None,
     respect_effective_dates: bool = True,
     collect_reports: bool = False,
+    optimized: bool = True,
     pool: LintPool | None = None,
 ) -> ParallelLintOutcome:
     """Lint a corpus with ``jobs`` worker processes and merge exactly.
@@ -355,6 +369,7 @@ def lint_corpus_parallel(
         shards,
         respect_effective_dates=respect_effective_dates,
         collect_reports=collect_reports,
+        optimized=optimized,
     )
     results: list[ShardResult] = []
     if pool is None and (jobs == 1 or len(tasks) <= 1):

@@ -7,13 +7,18 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..x509 import Certificate
+from ..x509.cache import caching_disabled
+from .context import LintContext
 from .framework import (
     Lint,
     LintResult,
     LintStatus,
     NoncomplianceType,
     REGISTRY,
+    RegistryIndex,
     Severity,
+    index_for,
+    to_utc_naive,
 )
 
 
@@ -62,22 +67,74 @@ class CertificateReport:
         return bool(self.warnings)
 
 
+_NO_NAMES: frozenset = frozenset()
+
+
 def run_lints(
     cert: Certificate,
     issued_at: _dt.datetime | None = None,
     lints: Sequence[Lint] | None = None,
     respect_effective_dates: bool = True,
+    optimized: bool = True,
+    index: RegistryIndex | None = None,
 ) -> CertificateReport:
-    """Run every lint (or a subset) against one certificate."""
+    """Run every lint (or a subset) against one certificate.
+
+    The default path attaches a per-run :class:`LintContext` to the
+    certificate (shared field extraction) and schedules through a
+    :class:`RegistryIndex` (family skipping + effective-date bisect).
+    ``optimized=False`` runs the legacy per-lint loop with every
+    derived-view cache disabled — slower, but the reference behaviour
+    the equivalence tests compare against.  Pass a prebuilt ``index``
+    (matching ``lints``) to skip the per-call memo lookup.
+    """
+    selected = tuple(lints) if lints is not None else REGISTRY.snapshot()
     report = CertificateReport()
-    for lint in lints if lints is not None else REGISTRY.snapshot():
-        result = lint.run(
-            cert,
-            issued_at=issued_at,
-            respect_effective_date=respect_effective_dates,
-        )
-        if result.status is not LintStatus.NA:
-            report.results.append(result)
+    results = report.results
+    if not optimized:
+        with caching_disabled():
+            for lint in selected:
+                result = lint.run(
+                    cert,
+                    issued_at=issued_at,
+                    respect_effective_date=respect_effective_dates,
+                )
+                if result.status is not LintStatus.NA:
+                    results.append(result)
+        return report
+
+    if index is None:
+        index = index_for(selected)
+    when = to_utc_naive(issued_at if issued_at is not None else cert.not_before)
+    not_effective = (
+        index.not_effective_names(when) if respect_effective_dates else _NO_NAMES
+    )
+    ctx = LintContext(cert)
+    cert._lint_ctx = ctx
+    try:
+        present = ctx.families()
+        for lint, families in index.entries:
+            # Family absent ⇒ applies() False ⇒ the NA result the legacy
+            # loop would have dropped; skipping is exact.
+            if families is not None and families.isdisjoint(present):
+                continue
+            if not lint.applies(cert):
+                continue
+            compliant, details = lint.check(cert)
+            meta = lint.metadata
+            if compliant:
+                results.append(LintResult(meta, LintStatus.PASS))
+            elif meta.name in not_effective:
+                results.append(LintResult(meta, LintStatus.NOT_EFFECTIVE, details))
+            else:
+                status = (
+                    LintStatus.ERROR
+                    if meta.severity is Severity.ERROR
+                    else LintStatus.WARN
+                )
+                results.append(LintResult(meta, status, details))
+    finally:
+        del cert._lint_ctx
     return report
 
 

@@ -12,6 +12,7 @@ from ..asn1.oid import OID_COMMON_NAME
 from ..uni import case_fold_equal, domain_to_ascii
 from ..uni.errors import IDNAError, PunycodeError
 from ..x509 import Certificate, GeneralNameKind
+from .context import FAMILY_SAN_PRESENT, FAMILY_SUBJECT_ANY, subject_family
 from .framework import (
     CABF_BR_DATE,
     NoncomplianceType,
@@ -61,6 +62,7 @@ register_lint(
     new=False,
     applies=lambda cert: bool(cert.subject_common_names),
     check=_check_cn_in_san,
+    families={subject_family(OID_COMMON_NAME)},
 )
 
 
@@ -88,6 +90,7 @@ register_lint(
     new=False,
     applies=lambda cert: not cert.subject.is_empty,
     check=_check_duplicate_attrs,
+    families={FAMILY_SUBJECT_ANY},
 )
 
 # ---------------------------------------------------------------------------
@@ -113,6 +116,7 @@ register_lint(
     new=False,
     applies=lambda cert: bool(cert.subject_common_names),
     check=_check_extra_cn,
+    families={subject_family(OID_COMMON_NAME)},
 )
 
 
@@ -134,4 +138,5 @@ register_lint(
     new=False,
     applies=lambda cert: cert.san is not None,
     check=_check_san_uri,
+    families={FAMILY_SAN_PRESENT},
 )

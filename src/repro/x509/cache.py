@@ -1,0 +1,40 @@
+"""Global switch for the memoized extraction layer.
+
+The derived-view caches on :class:`~repro.x509.certificate.Certificate`,
+:class:`~repro.x509.name.Name`, and
+:class:`~repro.x509.general_name.GeneralName` are identity-validated and
+therefore always safe — but the equivalence tests (and the benchmark's
+"before" leg) need a way to measure the *uncached* code path on the very
+same objects.  :func:`caching_disabled` is that switch: while any caller
+holds it, every accessor recomputes from the underlying DER/attribute
+state and neither reads nor writes its memo.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+_disable_depth = 0
+
+
+def caching_enabled() -> bool:
+    """True unless at least one :func:`caching_disabled` block is active."""
+    return _disable_depth == 0
+
+
+@contextlib.contextmanager
+def caching_disabled() -> Iterator[None]:
+    """Context manager that bypasses all derived-view caches.
+
+    Re-entrant: nested blocks keep caching off until the outermost one
+    exits.  Only the *reading and writing* of memos is suppressed; any
+    values cached before entry remain stored and become visible again
+    (after identity re-validation) once the block exits.
+    """
+    global _disable_depth
+    _disable_depth += 1
+    try:
+        yield
+    finally:
+        _disable_depth -= 1

@@ -7,6 +7,7 @@ import hashlib
 from dataclasses import dataclass, field
 
 from ..asn1 import (
+    ASN1Error,
     DERDecodeError,
     Element,
     ObjectIdentifier,
@@ -42,6 +43,7 @@ from .extensions import (
     ParsedPolicies,
     parse_basic_constraints,
 )
+from .cache import caching_enabled
 from .general_name import GeneralNameKind
 from .keys import SimPublicKey, signature_algorithm_element
 from .name import Name
@@ -62,6 +64,11 @@ class Certificate:
     tbs_der: bytes = b""
     signature: bytes = b""
     raw: bytes = b""
+    #: Memoized extension views, keyed by slot name.  Each entry stores
+    #: ``(ext, ext.value_der, view, error)`` and is only served while
+    #: both identities still match, so swapping an Extension object (or
+    #: its DER payload) invalidates the slot automatically.
+    _view_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Codec
@@ -162,65 +169,90 @@ class Certificate:
     def get_extensions(self, oid: ObjectIdentifier) -> list[Extension]:
         return [ext for ext in self.extensions if ext.oid == oid]
 
+    def _extension_view(self, slot, oid, parser, errors=Exception):
+        """Parse (or recall) the derived view of the extension ``oid``.
+
+        Returns ``(view, error)``.  The memo entry is valid only while
+        the Extension object *and* its ``value_der`` bytes are the exact
+        objects seen at parse time; any replacement misses the cache and
+        re-parses.
+        """
+        ext = self.get_extension(oid)
+        if ext is None:
+            return None, None
+        use_cache = caching_enabled()
+        if use_cache:
+            cached = self._view_cache.get(slot)
+            if cached is not None and cached[0] is ext and cached[1] is ext.value_der:
+                return cached[2], cached[3]
+        view = None
+        error = None
+        try:
+            view = parser(ext.value_der, strict=False)
+        except errors as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        if use_cache:
+            self._view_cache[slot] = (ext, ext.value_der, view, error)
+        return view, error
+
     @property
     def san(self) -> GeneralNames | None:
-        ext = self.get_extension(OID_EXT_SAN)
-        if ext is None:
-            return None
-        try:
-            return GeneralNames.parse(ext.value_der, strict=False)
-        except Exception:
-            return None
+        view, _error = self._extension_view(
+            "san", OID_EXT_SAN, GeneralNames.parse, (ASN1Error, ValueError)
+        )
+        return view
+
+    @property
+    def san_parse_error(self) -> str | None:
+        """Why the present SAN extension failed to decode (else ``None``).
+
+        Distinguishes a *malformed* SAN from an *absent* one so structure
+        lints can flag undecodable extensions instead of treating them as
+        missing.
+        """
+        _view, error = self._extension_view(
+            "san", OID_EXT_SAN, GeneralNames.parse, (ASN1Error, ValueError)
+        )
+        return error
 
     @property
     def ian(self) -> GeneralNames | None:
-        ext = self.get_extension(OID_EXT_IAN)
-        if ext is None:
-            return None
-        try:
-            return GeneralNames.parse(ext.value_der, strict=False)
-        except Exception:
-            return None
+        view, _error = self._extension_view(
+            "ian", OID_EXT_IAN, GeneralNames.parse, (ASN1Error, ValueError)
+        )
+        return view
+
+    @property
+    def ian_parse_error(self) -> str | None:
+        """Why the present IAN extension failed to decode (else ``None``)."""
+        _view, error = self._extension_view(
+            "ian", OID_EXT_IAN, GeneralNames.parse, (ASN1Error, ValueError)
+        )
+        return error
 
     @property
     def aia(self) -> InfoAccess | None:
-        ext = self.get_extension(OID_EXT_AIA)
-        if ext is None:
-            return None
-        try:
-            return InfoAccess.parse(ext.value_der, strict=False)
-        except Exception:
-            return None
+        view, _error = self._extension_view("aia", OID_EXT_AIA, InfoAccess.parse)
+        return view
 
     @property
     def sia(self) -> InfoAccess | None:
-        ext = self.get_extension(OID_EXT_SIA)
-        if ext is None:
-            return None
-        try:
-            return InfoAccess.parse(ext.value_der, strict=False)
-        except Exception:
-            return None
+        view, _error = self._extension_view("sia", OID_EXT_SIA, InfoAccess.parse)
+        return view
 
     @property
     def crl_distribution_points(self) -> CRLDistributionPoints | None:
-        ext = self.get_extension(OID_EXT_CRL_DISTRIBUTION_POINTS)
-        if ext is None:
-            return None
-        try:
-            return CRLDistributionPoints.parse(ext.value_der, strict=False)
-        except Exception:
-            return None
+        view, _error = self._extension_view(
+            "crldp", OID_EXT_CRL_DISTRIBUTION_POINTS, CRLDistributionPoints.parse
+        )
+        return view
 
     @property
     def policies(self) -> ParsedPolicies | None:
-        ext = self.get_extension(OID_EXT_CERTIFICATE_POLICIES)
-        if ext is None:
-            return None
-        try:
-            return ParsedPolicies.parse(ext.value_der, strict=False)
-        except Exception:
-            return None
+        view, _error = self._extension_view(
+            "cp", OID_EXT_CERTIFICATE_POLICIES, ParsedPolicies.parse
+        )
+        return view
 
     # ------------------------------------------------------------------
     # Field shortcuts

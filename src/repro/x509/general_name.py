@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 import ipaddress
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..asn1 import (
     DERDecodeError,
@@ -21,6 +21,7 @@ from ..asn1 import (
     spec_for_tag,
 )
 from ..asn1.oid import OID_ON_SMTP_UTF8_MAILBOX
+from .cache import caching_enabled
 from .name import Name
 
 
@@ -62,6 +63,19 @@ class GeneralName:
     raw: bytes | None = None
     other_name_oid: ObjectIdentifier | None = None
     decode_ok: bool = True
+    _char_set_cache: tuple | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def char_set(self) -> frozenset:
+        """The distinct characters of ``value`` (memoized per value object)."""
+        cached = self._char_set_cache
+        use_cache = caching_enabled()
+        if use_cache and cached is not None and cached[0] is self.value:
+            return cached[1]
+        chars = frozenset(self.value)
+        if use_cache:
+            self._char_set_cache = (self.value, chars)
+        return chars
 
     # -- constructors ------------------------------------------------------
 

@@ -27,6 +27,7 @@ from ..asn1 import (
     spec_for_tag,
 )
 from ..asn1.oid import OID_NAMES
+from .cache import caching_enabled
 
 # ---------------------------------------------------------------------------
 # Attribute model
@@ -48,10 +49,23 @@ class AttributeTypeAndValue:
     raw: bytes | None = None
     #: Whether the stored value satisfied the declared type on decode.
     decode_ok: bool = True
+    _char_set_cache: tuple | None = field(default=None, repr=False, compare=False)
 
     @property
     def short_name(self) -> str:
         return OID_NAMES.get(self.oid.dotted, self.oid.dotted)
+
+    @property
+    def char_set(self) -> frozenset:
+        """The distinct characters of ``value`` (memoized per value object)."""
+        cached = self._char_set_cache
+        use_cache = caching_enabled()
+        if use_cache and cached is not None and cached[0] is self.value:
+            return cached[1]
+        chars = frozenset(self.value)
+        if use_cache:
+            self._char_set_cache = (self.value, chars)
+        return chars
 
     def encode(self, strict: bool = False) -> Element:
         if self.raw is not None:
@@ -114,6 +128,11 @@ class Name:
     """An RDNSequence — the Subject/Issuer type of RFC 5280."""
 
     rdns: list[RelativeDistinguishedName] = field(default_factory=list)
+    #: ``(token, attrs_tuple, by_oid)`` — valid only while the structural
+    #: token (object identities of every RDN, attribute, and attribute
+    #: OID) still matches, so list edits and OID reassignment invalidate
+    #: it; attribute *values* are always read live off the attr objects.
+    _attr_cache: tuple | None = field(default=None, repr=False, compare=False)
 
     # -- construction ----------------------------------------------------
 
@@ -149,15 +168,48 @@ class Name:
 
     # -- accessors -----------------------------------------------------------
 
+    def _attr_token(self) -> tuple:
+        return tuple(
+            (id(rdn), tuple((id(attr), id(attr.oid)) for attr in rdn.attributes))
+            for rdn in self.rdns
+        )
+
+    def _attr_index(self) -> tuple:
+        """Return ``(attrs_tuple, by_oid)``, rebuilding on structure change."""
+        token = self._attr_token()
+        cached = self._attr_cache
+        if cached is None or cached[0] != token:
+            attrs = tuple(attr for rdn in self.rdns for attr in rdn.attributes)
+            by_oid: dict[str, list[AttributeTypeAndValue]] = {}
+            for attr in attrs:
+                by_oid.setdefault(attr.oid.dotted, []).append(attr)
+            cached = (token, attrs, {k: tuple(v) for k, v in by_oid.items()})
+            self._attr_cache = cached
+        return cached[1], cached[2]
+
     def attributes(self) -> list[AttributeTypeAndValue]:
-        return [attr for rdn in self.rdns for attr in rdn.attributes]
+        if not caching_enabled():
+            return [attr for rdn in self.rdns for attr in rdn.attributes]
+        attrs, _by_oid = self._attr_index()
+        return list(attrs)
+
+    def _attrs_for(self, attr_oid: ObjectIdentifier) -> tuple:
+        if not caching_enabled():
+            return tuple(
+                attr
+                for rdn in self.rdns
+                for attr in rdn.attributes
+                if attr.oid == attr_oid
+            )
+        _attrs, by_oid = self._attr_index()
+        return by_oid.get(attr_oid.dotted, ())
 
     def get(self, attr_oid: ObjectIdentifier) -> list[str]:
         """All values of the given attribute type, in order."""
-        return [attr.value for attr in self.attributes() if attr.oid == attr_oid]
+        return [attr.value for attr in self._attrs_for(attr_oid)]
 
     def get_attrs(self, attr_oid: ObjectIdentifier) -> list[AttributeTypeAndValue]:
-        return [attr for attr in self.attributes() if attr.oid == attr_oid]
+        return list(self._attrs_for(attr_oid))
 
     @property
     def is_empty(self) -> bool:
