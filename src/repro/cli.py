@@ -160,6 +160,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_staticcheck(args: argparse.Namespace) -> int:
+    import json
+
+    from .staticcheck import run_staticcheck, write_baseline
+
+    report = run_staticcheck(baseline_path=args.baseline, checkers=args.checker)
+    if args.write_baseline:
+        write_baseline(args.baseline, report.findings)
+        print(
+            f"wrote {len(report.findings)} accepted finding(s) to {args.baseline}"
+        )
+        return 0
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        for finding in report.new:
+            print(finding.render())
+        counts = report.counts()
+        new_counts = report.counts(report.new)
+        print(
+            f"{len(report.findings)} finding(s): "
+            f"{counts['error']} error(s), {counts['warning']} warning(s); "
+            f"{len(report.baselined)} baselined, {len(report.new)} new "
+            f"({new_counts['error']} error(s), {new_counts['warning']} warning(s))"
+        )
+    threshold = ("error",) if args.fail_on == "error" else ("error", "warning")
+    return 1 if any(f.severity in threshold for f in report.new) else 0
+
+
 def _cmd_differential(args: argparse.Namespace) -> int:
     from .tlslibs import (
         ALL_PROFILES,
@@ -261,6 +290,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request lint deadline in seconds (504 past it)",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    staticcheck = sub.add_parser(
+        "staticcheck",
+        help="run the lint-the-linter static analyzers over src/repro",
+    )
+    staticcheck.add_argument(
+        "--json", action="store_true", help="emit the full JSON report"
+    )
+    staticcheck.add_argument(
+        "--fail-on",
+        choices=("error", "warning"),
+        default="error",
+        help="exit non-zero when a NEW finding at/above this severity exists",
+    )
+    staticcheck.add_argument(
+        "--baseline",
+        default="staticcheck_baseline.json",
+        help="accepted-findings file (fingerprints that don't gate)",
+    )
+    staticcheck.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline file",
+    )
+    staticcheck.add_argument(
+        "--checker",
+        action="append",
+        metavar="NAME",
+        help="run only this checker group (repeatable; default: all five)",
+    )
+    staticcheck.set_defaults(func=_cmd_staticcheck)
 
     diff = sub.add_parser("differential", help="derive the parser matrices")
     diff.set_defaults(func=_cmd_differential)

@@ -231,6 +231,19 @@ class LintRegistry:
             self._snapshot = tuple(self._lints.values())
         return self._snapshot
 
+    # -- introspection (used by repro.staticcheck and the self-tests) ----
+
+    def __iter__(self):
+        return iter(self.snapshot())
+
+    def names(self) -> tuple[str, ...]:
+        """Registered lint names, in registration order."""
+        return tuple(lint.metadata.name for lint in self.snapshot())
+
+    def items(self):
+        """``(name, lint)`` pairs, in registration order."""
+        return tuple((lint.metadata.name, lint) for lint in self.snapshot())
+
     def all(self) -> list[Lint]:
         return list(self.snapshot())
 

@@ -31,7 +31,7 @@ def _cn_matches_san(cn: str, san_values: list[str]) -> bool:
     candidates = {cn}
     try:
         candidates.add(domain_to_ascii(cn, validate=False))
-    except (IDNAError, PunycodeError, Exception):
+    except (IDNAError, PunycodeError):
         pass
     return any(
         case_fold_equal(candidate, value)

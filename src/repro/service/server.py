@@ -44,7 +44,7 @@ from typing import Callable
 
 from ..lint.parallel import LintPool
 from ..x509 import Certificate
-from ..x509.pem import decode_pem
+from ..x509.pem import PEMError, decode_pem
 from .batcher import MicroBatcher
 from .cache import ResultCache, cache_key
 from .http import (
@@ -83,7 +83,7 @@ def decode_certificate_body(data: bytes) -> bytes:
     if data.startswith(b"-----BEGIN"):
         try:
             return decode_pem(data.decode("ascii", errors="replace"), label="CERTIFICATE")
-        except Exception as exc:
+        except PEMError as exc:
             raise HttpError(400, "bad_pem", f"invalid PEM body: {exc}") from exc
     try:
         decoded = base64.b64decode(b"".join(data.split()), validate=True)
@@ -98,7 +98,7 @@ def decode_certificate_body(data: bytes) -> bytes:
             return decode_pem(
                 decoded.decode("ascii", errors="replace"), label="CERTIFICATE"
             )
-        except Exception as exc:
+        except PEMError as exc:
             raise HttpError(400, "bad_pem", f"invalid PEM body: {exc}") from exc
     return decoded
 

@@ -1,0 +1,50 @@
+"""``repro.staticcheck`` — a lint-the-linter static analysis pass.
+
+The corpus results rest on ~95 frozen lints being scheduled exactly as
+declared; this package verifies the declarations themselves.  Five
+checker groups (family-soundness, registry-invariants, cache-safety,
+exception-hygiene, determinism) report structured :class:`Finding`
+records with line-drift-stable fingerprints, gated in CI against a
+reviewed baseline.  See DESIGN.md §8 for the architecture.
+"""
+
+from .baseline import load_baseline, partition, write_baseline
+from .cachesafety import check_cache_safety
+from .determinism import check_determinism
+from .engine import (
+    CHECKER_NAMES,
+    StaticcheckReport,
+    hygiene_paths,
+    lint_module_paths,
+    run_checkers,
+    run_staticcheck,
+)
+from .families import check_family_soundness, implied_up
+from .findings import Finding, fingerprint_of, sort_key
+from .hygiene import check_exception_hygiene
+from .registry import check_registered, check_registry_invariants
+from .resolve import AppliesResolver, SourceIndex
+
+__all__ = [
+    "AppliesResolver",
+    "CHECKER_NAMES",
+    "Finding",
+    "SourceIndex",
+    "StaticcheckReport",
+    "check_cache_safety",
+    "check_determinism",
+    "check_exception_hygiene",
+    "check_family_soundness",
+    "check_registered",
+    "check_registry_invariants",
+    "fingerprint_of",
+    "hygiene_paths",
+    "implied_up",
+    "lint_module_paths",
+    "load_baseline",
+    "partition",
+    "run_checkers",
+    "run_staticcheck",
+    "sort_key",
+    "write_baseline",
+]

@@ -1,0 +1,56 @@
+"""Accepted-findings baseline for ``repro staticcheck``.
+
+The baseline file (``staticcheck_baseline.json`` at the repo root)
+records the fingerprints of findings that were reviewed and accepted —
+typically behavior-pinning quirks the reproduction must not "fix"
+(changing them would alter lint output and corpus counts).  CI fails on
+*new* findings only; baselined ones are reported but don't gate.
+
+Fingerprints exclude line numbers (see
+:mod:`repro.staticcheck.findings`), so the baseline survives unrelated
+line drift.  A finding whose message or anchor changes gets a new
+fingerprint and must be re-reviewed — by design.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .findings import Finding, sort_key
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path) -> dict[str, dict]:
+    """Fingerprint → recorded finding dict; empty when absent."""
+    path = Path(path)
+    if not path.exists():
+        return {}
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    entries = payload.get("findings", [])
+    return {entry["fingerprint"]: entry for entry in entries}
+
+
+def write_baseline(path, findings) -> None:
+    """Serialize ``findings`` as the new accepted baseline."""
+    ordered = sorted(findings, key=sort_key)
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [finding.to_dict() for finding in ordered],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+
+
+def partition(findings, baseline: dict[str, dict]):
+    """Split findings into ``(new, baselined)`` by fingerprint."""
+    new: list[Finding] = []
+    accepted: list[Finding] = []
+    for finding in findings:
+        if finding.fingerprint in baseline:
+            accepted.append(finding)
+        else:
+            new.append(finding)
+    return new, accepted

@@ -1,0 +1,100 @@
+"""Checker: determinism hazards inside lint bodies.
+
+The corpus pipeline's central guarantee is that summaries are
+byte-identical across job counts, machines, and runs.  Any lint that
+consults wall-clock time, randomness, or locale state breaks that
+guarantee in ways no equivalence test can reliably catch.  This checker
+flags, inside the lint definition modules:
+
+* ``time.time`` / ``time.time_ns`` / ``time.monotonic`` /
+  ``time.perf_counter`` calls;
+* ``datetime.now`` / ``utcnow`` / ``date.today`` calls;
+* any call through the ``random`` or ``secrets`` modules, plus
+  ``from random import ...`` (which hides later bare calls);
+* ``os.urandom`` and ``uuid.uuid1``/``uuid.uuid4``;
+* any use of the ``locale`` module.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .findings import Finding
+from .resolve import SourceIndex
+
+CHECKER = "determinism"
+
+_TIME_FNS = frozenset({"time", "time_ns", "monotonic", "perf_counter"})
+_NOW_FNS = frozenset({"now", "utcnow", "today"})
+_DATETIME_ROOTS = frozenset({"datetime", "date", "dt", "_dt"})
+_RANDOM_MODULES = frozenset({"random", "secrets", "locale"})
+_UUID_FNS = frozenset({"uuid1", "uuid4"})
+
+
+def _attr_chain(node: ast.expr) -> list[str]:
+    chain: list[str] = []
+    while isinstance(node, ast.Attribute):
+        chain.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        chain.append(node.id)
+    chain.reverse()
+    return chain
+
+
+def _hazard_of(call: ast.Call) -> str | None:
+    chain = _attr_chain(call.func)
+    if len(chain) < 2:
+        return None
+    root, leaf = chain[0], chain[-1]
+    if root == "time" and leaf in _TIME_FNS:
+        return f"time.{leaf}() is wall-clock-dependent"
+    if leaf in _NOW_FNS and (set(chain) & _DATETIME_ROOTS):
+        return f"{'.'.join(chain)}() reads the current clock"
+    if root in _RANDOM_MODULES:
+        return f"{'.'.join(chain)}() is nondeterministic ({root} module)"
+    if root == "os" and leaf == "urandom":
+        return "os.urandom() is nondeterministic"
+    if root == "uuid" and leaf in _UUID_FNS:
+        return f"uuid.{leaf}() is nondeterministic"
+    return None
+
+
+def check_determinism(paths, index: SourceIndex) -> list[Finding]:
+    """Flag clock/randomness/locale use inside the lint modules."""
+    findings: list[Finding] = []
+    for path in paths:
+        tree = index.module(str(path))
+        if tree is None:
+            continue
+        relpath = index.relpath(str(path))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".")[0] in _RANDOM_MODULES:
+                    findings.append(
+                        Finding(
+                            checker=CHECKER,
+                            severity="error",
+                            path=relpath,
+                            line=node.lineno,
+                            anchor=node.module,
+                            message=(
+                                f"from {node.module} import ... in a lint "
+                                "module hides nondeterministic calls"
+                            ),
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                hazard = _hazard_of(node)
+                if hazard is not None:
+                    findings.append(
+                        Finding(
+                            checker=CHECKER,
+                            severity="error",
+                            path=relpath,
+                            line=node.lineno,
+                            anchor=_attr_chain(node.func)[0],
+                            message=hazard,
+                        )
+                    )
+    return findings

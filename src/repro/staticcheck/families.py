@@ -1,0 +1,152 @@
+"""Checker: declared lint families must cover what ``applies`` keys on.
+
+The RegistryIndex skip contract (:class:`repro.lint.framework.Lint`) is
+one-directional: ``applies(cert)`` returning True MUST imply at least
+one declared family is present on the certificate.  A lint whose
+``applies`` keys on a field *outside* its declared families can return
+True on a certificate the scheduler already skipped — silently turning
+real findings into dropped NAs.  This checker resolves every registered
+lint's ``applies`` predicate to the set of family atoms it reads
+(:mod:`repro.staticcheck.resolve`) and verifies each atom is covered.
+
+Coverage uses upward implication between family keys: a subject
+attribute atom ``("s", oid)`` is covered by a declared ``("s", oid)``
+*or* the any-subject bucket ``"s*"`` (whenever that attribute is
+present, the any-bucket is present too), an ``xn`` atom by ``"xn"`` or
+``"dns"``, a SAN kind atom by its kind bucket or ``"san!"``, and so on.
+A ``("spec", type)`` atom is only covered by itself: spec presence does
+not pin down *which* DN carried the attribute.
+"""
+
+from __future__ import annotations
+
+from ..lint.context import (
+    FAMILY_DNS,
+    FAMILY_IAN_PRESENT,
+    FAMILY_ISSUER_ANY,
+    FAMILY_SAN_PRESENT,
+    FAMILY_SUBJECT_ANY,
+    FAMILY_XN,
+)
+from ..x509 import GeneralNameKind
+from .findings import Finding
+from .resolve import AppliesResolver, SourceIndex, lint_location
+
+CHECKER = "family-soundness"
+
+_DNS_KIND = int(GeneralNameKind.DNS_NAME)
+
+
+def implied_up(atom) -> frozenset:
+    """Family keys guaranteed present whenever ``atom`` is present."""
+    if isinstance(atom, tuple):
+        prefix = atom[0]
+        if prefix == "s":
+            return frozenset({atom, FAMILY_SUBJECT_ANY})
+        if prefix == "i":
+            return frozenset({atom, FAMILY_ISSUER_ANY})
+        if prefix == "san":
+            keys = {atom, FAMILY_SAN_PRESENT}
+            if atom[1] == _DNS_KIND:
+                keys.add(FAMILY_DNS)
+            return frozenset(keys)
+        if prefix == "ian":
+            return frozenset({atom, FAMILY_IAN_PRESENT})
+        return frozenset({atom})  # ("spec", t): side unknown
+    if atom == FAMILY_XN:
+        return frozenset({FAMILY_XN, FAMILY_DNS})
+    return frozenset({atom})
+
+
+def _render_atom(atom) -> str:
+    if isinstance(atom, tuple):
+        return "(" + ", ".join(repr(part) for part in atom) + ")"
+    return repr(atom)
+
+
+def _applies_callable(lint):
+    fn = getattr(lint, "_applies", None)
+    if fn is not None:
+        return fn
+    applies = type(lint).applies
+    return getattr(applies, "__func__", applies)
+
+
+def check_family_soundness(
+    lints, index: SourceIndex, resolver: AppliesResolver | None = None
+) -> list[Finding]:
+    """Verify every family-declaring lint against its applies body."""
+    resolver = resolver or AppliesResolver(index)
+    findings: list[Finding] = []
+    for lint in lints:
+        families = lint.families
+        if families is None:
+            continue  # never skipped; nothing to mis-declare
+        name = lint.metadata.name
+        path, line = lint_location(lint, index)
+        if not isinstance(families, frozenset):
+            findings.append(
+                Finding(
+                    checker=CHECKER,
+                    severity="error",
+                    path=path,
+                    line=line,
+                    anchor=name,
+                    message=(
+                        "families must be a frozenset or None, got "
+                        f"{type(families).__name__}"
+                    ),
+                )
+            )
+            continue
+        extraction = resolver.extract(_applies_callable(lint))
+        uncovered = sorted(
+            (
+                atom
+                for atom in extraction.atoms
+                if not (implied_up(atom) & families)
+            ),
+            key=_render_atom,
+        )
+        for atom in uncovered:
+            findings.append(
+                Finding(
+                    checker=CHECKER,
+                    severity="error",
+                    path=path,
+                    line=line,
+                    anchor=name,
+                    message=(
+                        f"applies() keys on family {_render_atom(atom)} "
+                        "not covered by declared families "
+                        f"{{{', '.join(sorted(map(_render_atom, families)))}}}"
+                    ),
+                )
+            )
+        if not extraction.atoms and not extraction.unknown:
+            findings.append(
+                Finding(
+                    checker=CHECKER,
+                    severity="error",
+                    path=path,
+                    line=line,
+                    anchor=name,
+                    message=(
+                        "families declared but applies() does not key on any "
+                        "certificate field family — the scheduler may skip a "
+                        "lint whose applies() would have returned True"
+                    ),
+                )
+            )
+        for reason in dict.fromkeys(extraction.unknown):
+            findings.append(
+                Finding(
+                    checker=CHECKER,
+                    severity="warning",
+                    path=path,
+                    line=line,
+                    anchor=name,
+                    message=f"cannot statically verify families: {reason}",
+                )
+            )
+    return findings

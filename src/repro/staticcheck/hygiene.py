@@ -1,0 +1,140 @@
+"""Checker: exception hygiene in the parse and service paths.
+
+A bare ``except:`` or a broad ``except Exception`` that neither
+re-raises nor records the exception can silently swallow parse failures
+— precisely the class of bug differential-testing work shows goes
+unnoticed.  The rule:
+
+* a *bare* ``except:`` is always an error;
+* ``except Exception`` / ``except BaseException`` (alone or in a
+  tuple) is acceptable only when the handler re-raises or references
+  the bound exception name (``except Exception as exc`` followed by a
+  use of ``exc`` counts as explicit error recording); otherwise it is
+  reported as a warning;
+* a tuple that mixes narrow types with ``Exception`` (for example
+  ``except (IDNAError, Exception)``) is reported even when handled,
+  because the broad member makes the narrow ones dead letters.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .findings import Finding
+from .resolve import SourceIndex
+
+CHECKER = "exception-hygiene"
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _type_names(node: ast.expr | None) -> list[str]:
+    if node is None:
+        return []
+    if isinstance(node, ast.Tuple):
+        names = []
+        for element in node.elts:
+            names.extend(_type_names(element))
+        return names
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, ast.Attribute):
+        return [node.attr]
+    return ["<expr>"]
+
+
+def _handler_records(handler: ast.ExceptHandler) -> bool:
+    for node in handler.body:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Raise):
+                return True
+            if (
+                handler.name
+                and isinstance(sub, ast.Name)
+                and sub.id == handler.name
+                and isinstance(sub.ctx, ast.Load)
+            ):
+                return True
+    return False
+
+
+def _enclosing_functions(tree: ast.Module) -> dict[ast.AST, str]:
+    """Map every node to the name of its innermost enclosing function."""
+    owner: dict[ast.AST, str] = {}
+
+    def assign(node: ast.AST, label: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_label = label
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_label = child.name
+            elif isinstance(child, ast.Lambda):
+                child_label = "<lambda>"
+            owner[child] = child_label
+            assign(child, child_label)
+
+    assign(tree, "<module>")
+    return owner
+
+
+def check_exception_hygiene(paths, index: SourceIndex) -> list[Finding]:
+    """Flag bare/broad except handlers without re-raise or recording."""
+    findings: list[Finding] = []
+    for path in paths:
+        tree = index.module(str(path))
+        if tree is None:
+            continue
+        relpath = index.relpath(str(path))
+        owner = _enclosing_functions(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            names = _type_names(node.type)
+            broad = [name for name in names if name in _BROAD]
+            anchor = owner.get(node, "<module>")
+            if node.type is None:
+                findings.append(
+                    Finding(
+                        checker=CHECKER,
+                        severity="error",
+                        path=relpath,
+                        line=node.lineno,
+                        anchor=anchor,
+                        message="bare except: swallows every exception "
+                        "including KeyboardInterrupt paths",
+                    )
+                )
+                continue
+            if not broad:
+                continue
+            narrow = [name for name in names if name not in _BROAD]
+            if narrow:
+                findings.append(
+                    Finding(
+                        checker=CHECKER,
+                        severity="warning",
+                        path=relpath,
+                        line=node.lineno,
+                        anchor=anchor,
+                        message=(
+                            f"except tuple mixes {', '.join(narrow)} with "
+                            f"{', '.join(broad)}; the broad member makes the "
+                            "narrow types dead letters"
+                        ),
+                    )
+                )
+                continue
+            if not _handler_records(node):
+                findings.append(
+                    Finding(
+                        checker=CHECKER,
+                        severity="warning",
+                        path=relpath,
+                        line=node.lineno,
+                        anchor=anchor,
+                        message=(
+                            f"broad except {'/'.join(broad)} neither re-raises "
+                            "nor records the exception"
+                        ),
+                    )
+                )
+    return findings

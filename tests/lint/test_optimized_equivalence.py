@@ -103,6 +103,49 @@ class TestReportEquivalence:
         assert not hasattr(cert, "_lint_ctx")
 
 
+class TestFamilySkipEquivalence:
+    """Family skipping must be invisible (the staticcheck hazard).
+
+    A mis-declared ``families`` frozenset would make ``RegistryIndex``
+    skip a lint whose ``applies()`` would have returned True, silently
+    turning findings into NAs.  ``repro.staticcheck``'s family-soundness
+    checker proves the declarations statically; this test pins the same
+    contract dynamically: a jobs-1 run with skipping enabled must yield
+    a summary identical to a full no-skip run over the seeded corpus.
+    """
+
+    def test_jobs1_summary_identical_to_no_skip_run(self, corpus):
+        from repro.lint.framework import REGISTRY, RegistryIndex
+
+        lints = REGISTRY.snapshot()
+        skipping = RegistryIndex(lints)
+        no_skip = RegistryIndex(lints)
+        # Defeat the isdisjoint fast path: every lint's applies() runs.
+        no_skip.entries = tuple((lint, None) for lint in lints)
+        with_skip = summarize(
+            run_lints(r.certificate, issued_at=r.issued_at, index=skipping)
+            for r in corpus.records
+        )
+        without_skip = summarize(
+            run_lints(r.certificate, issued_at=r.issued_at, index=no_skip)
+            for r in corpus.records
+        )
+        assert summary_to_json(with_skip) == summary_to_json(without_skip)
+
+    def test_per_report_skip_equivalence(self, corpus):
+        from repro.lint.framework import REGISTRY, RegistryIndex
+
+        lints = REGISTRY.snapshot()
+        no_skip = RegistryIndex(lints)
+        no_skip.entries = tuple((lint, None) for lint in lints)
+        for record in corpus.records[:40]:
+            skipped = run_lints(record.certificate, issued_at=record.issued_at)
+            full = run_lints(
+                record.certificate, issued_at=record.issued_at, index=no_skip
+            )
+            assert _report_shape(skipped) == _report_shape(full)
+
+
 class TestViewCacheCorrectness:
     def test_san_view_memoized_per_payload(self):
         cert = _build(san="a.example.com")
