@@ -3,21 +3,25 @@
 Two layers:
 
 * **Corpus benchmark** (``main()`` / ``test_corpus_lint_throughput``) —
-  lints one seeded corpus three ways and records certs/sec for each:
+  lints one seeded corpus three ways through the staged
+  :mod:`repro.engine` pipeline and records certs/sec for each:
 
   - ``before``: the legacy per-lint loop with every derived-view cache
-    disabled (``run_lints(..., optimized=False)``) — the pre-change
-    behaviour, kept callable precisely so the speedup claim is measured
-    in the same tree it ships in;
+    disabled (``optimized=False`` through the serial executor) — the
+    pre-change behaviour, kept callable precisely so the speedup claim
+    is measured in the same tree it ships in;
   - ``after``: the optimized single-process path (per-run LintContext,
     RegistryIndex family skipping, effective-date bisect, memoized
-    extension/name views);
-  - ``after_jobs``: the optimized path through the sharded
-    multiprocessing pipeline at ``--jobs N``.
+    extension/name views) through the serial executor;
+  - ``after_jobs``: the optimized path through the process-pool
+    executor at ``--jobs N``.
 
-  Every run asserts the three summaries serialize byte-identically
-  before any rate is reported, then writes the machine-readable record
-  to ``benchmarks/output/BENCH_lint_throughput.json``.
+  Each mode threads an :class:`repro.engine.EngineStats` collector, so
+  the record carries a per-stage (decode/lint/sink) seconds breakdown
+  alongside the headline rate.  Every run asserts the three summaries
+  serialize byte-identically before any rate is reported, then writes
+  the machine-readable record to
+  ``benchmarks/output/BENCH_lint_throughput.json``.
 
 * **Micro benchmarks** (pytest-benchmark) — single-certificate lint,
   DER parse, Punycode round-trip, build+sign; unchanged componentry.
@@ -39,10 +43,10 @@ import sys
 import time
 
 from repro.ct import CorpusGenerator
+from repro.engine import EngineStats
 from repro.lint import (
     lint_corpus_parallel,
     run_lints,
-    summarize,
     summary_to_json,
 )
 from repro.uni import punycode
@@ -70,32 +74,45 @@ def _timed(fn):
     return result, time.perf_counter() - start
 
 
+def _stage_block(stats: EngineStats) -> dict:
+    """Per-stage seconds in canonical order, rounded for the record."""
+    return {
+        stage: round(seconds, 3)
+        for stage, seconds in stats.stage_seconds().items()
+    }
+
+
 def measure(scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED, jobs: int = DEFAULT_JOBS) -> dict:
     """Measure before/after corpus lint throughput; returns the record.
 
-    Equivalence is asserted, not sampled: the reference, optimized, and
-    ``--jobs N`` summaries must serialize byte-identically or the
-    benchmark dies before reporting a single rate.
+    All three modes route through the staged engine (serial executor
+    for ``before``/``after``, process-pool executor for ``after_jobs``)
+    with an injected stats collector, so each mode's entry carries a
+    ``stages`` breakdown.  Equivalence is asserted, not sampled: the
+    reference, optimized, and ``--jobs N`` summaries must serialize
+    byte-identically or the benchmark dies before reporting a single
+    rate.
     """
     corpus = CorpusGenerator(seed=seed, scale=scale).generate()
-    records = corpus.records
-    total = len(records)
+    total = len(corpus.records)
 
-    before_reports, before_s = _timed(
-        lambda: [
-            run_lints(r.certificate, issued_at=r.issued_at, optimized=False)
-            for r in records
-        ]
+    before_stats = EngineStats()
+    before, before_s = _timed(
+        lambda: lint_corpus_parallel(
+            corpus, jobs=1, optimized=False, stats=before_stats
+        )
     )
-    after_reports, after_s = _timed(
-        lambda: [
-            run_lints(r.certificate, issued_at=r.issued_at) for r in records
-        ]
+    after_stats = EngineStats()
+    after, after_s = _timed(
+        lambda: lint_corpus_parallel(corpus, jobs=1, stats=after_stats)
     )
-    fanout, fanout_s = _timed(lambda: lint_corpus_parallel(corpus, jobs=jobs))
+    fanout_stats = EngineStats()
+    fanout, fanout_s = _timed(
+        lambda: lint_corpus_parallel(corpus, jobs=jobs, stats=fanout_stats)
+    )
 
-    baseline_json = summary_to_json(summarize(before_reports))
-    assert summary_to_json(summarize(after_reports)) == baseline_json, (
+    baseline_json = summary_to_json(before.summary)
+    assert summary_to_json(after.summary) == baseline_json, (
         "optimized single-process summary diverged from the reference path"
     )
     assert summary_to_json(fanout.summary) == baseline_json, (
@@ -114,18 +131,21 @@ def measure(scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED, jobs: int = 
             "path": "unoptimized per-lint loop, caches disabled",
             "seconds": round(before_s, 3),
             "certs_per_sec": round(before_rate, 1),
+            "stages": _stage_block(before_stats),
         },
         "after": {
-            "path": "LintContext + RegistryIndex, single process",
+            "path": "LintContext + RegistryIndex, serial executor",
             "seconds": round(after_s, 3),
             "certs_per_sec": round(after_rate, 1),
+            "stages": _stage_block(after_stats),
         },
         "after_jobs": {
-            "path": f"optimized sharded pipeline, --jobs {jobs}",
+            "path": f"optimized pool executor, --jobs {jobs}",
             "jobs": jobs,
             "shards": fanout.shards,
             "seconds": round(fanout_s, 3),
             "certs_per_sec": round(fanout_rate, 1),
+            "stages": _stage_block(fanout_stats),
         },
         "single_process_speedup": round(after_rate / before_rate, 2),
         "summaries_byte_identical": True,

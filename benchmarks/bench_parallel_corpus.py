@@ -22,6 +22,7 @@ import time
 
 from repro.analysis import lint_corpus
 from repro.ct import CorpusGenerator
+from repro.engine import EngineStats
 from repro.lint import lint_corpus_parallel, summarize, summary_to_json
 
 SCALE = float(os.environ.get("REPRO_BENCH_PARALLEL_SCALE", 1 / 10000))
@@ -50,7 +51,10 @@ def test_parallel_corpus_throughput(write_output):
         lambda: summarize(lint_corpus(corpus, jobs=1))
     )
     inline, inline_s = _timed(lambda: lint_corpus_parallel(corpus, jobs=1))
-    fanout, fanout_s = _timed(lambda: lint_corpus_parallel(corpus, jobs=JOBS))
+    fanout_stats = EngineStats()
+    fanout, fanout_s = _timed(
+        lambda: lint_corpus_parallel(corpus, jobs=JOBS, stats=fanout_stats)
+    )
 
     # Exactness: byte-identical summaries across every configuration.
     baseline_json = summary_to_json(sequential_summary)
@@ -70,6 +74,14 @@ def test_parallel_corpus_throughput(write_output):
         f"pipeline --jobs 1:     {inline_s:8.2f}s  {inline_rate:10.1f} certs/s",
         f"pipeline --jobs {JOBS}:     {fanout_s:8.2f}s  {fanout_rate:10.1f} certs/s",
         f"speedup at {JOBS} jobs over sequential: {speedup:.2f}x",
+        "stages at --jobs %d (worker seconds, summed): %s"
+        % (
+            JOBS,
+            ", ".join(
+                f"{stage} {seconds:.2f}s"
+                for stage, seconds in fanout_stats.stage_seconds().items()
+            ),
+        ),
         f"summaries byte-identical across all configurations: yes",
     ]
     if cpus >= JOBS:

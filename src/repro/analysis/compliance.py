@@ -11,27 +11,26 @@ import datetime as _dt
 from dataclasses import dataclass, field
 
 from ..ct.corpus import ANALYSIS_DATE, Corpus, CorpusRecord, TrustStatus
-from ..lint import CertificateReport, CorpusSummary, NoncomplianceType, REGISTRY, run_lints
+from ..lint import CertificateReport, CorpusSummary, NoncomplianceType, REGISTRY
 from ..lint.framework import LintStatus
 
 
-def lint_corpus(corpus: Corpus, jobs: int | None = 1) -> list[CertificateReport]:
+def lint_corpus(
+    corpus: Corpus, jobs: int | None = 1, stats=None
+) -> list[CertificateReport]:
     """Run the full lint registry over every corpus record.
 
-    ``jobs=1`` (the default, preserving the historical signature) lints
-    in-process; ``jobs=None`` (all CPUs) or ``jobs > 1`` routes through
-    the sharded pipeline in :mod:`repro.lint.parallel`.  Reports come
-    back in corpus order either way and are identical across job counts.
+    Routes through the staged :mod:`repro.engine` pipeline: ``jobs=1``
+    (the default, preserving the historical signature) runs the serial
+    reference executor in-process; ``jobs=None`` (all CPUs) or
+    ``jobs > 1`` fans out over worker processes.  Reports come back in
+    corpus order either way and are identical across job counts.  Pass
+    ``stats`` (an :class:`repro.engine.stats.EngineStats`) to observe
+    the run's per-stage breakdown.
     """
-    if jobs == 1:
-        lints = REGISTRY.snapshot()
-        return [
-            run_lints(record.certificate, issued_at=record.issued_at, lints=lints)
-            for record in corpus.records
-        ]
-    from ..lint.parallel import lint_corpus_parallel
+    from ..engine.pipeline import Engine
 
-    outcome = lint_corpus_parallel(corpus, jobs, collect_reports=True)
+    outcome = Engine(stats).run_corpus(corpus, jobs, collect_reports=True)
     return outcome.reports or []
 
 

@@ -20,51 +20,42 @@ import argparse
 import sys
 
 
-def _lint_one_file(path: str, args: argparse.Namespace) -> int:
-    """Lint one file (or stdin); returns the per-file exit status
-    (0 compliant, 1 findings, 2 unreadable/unparseable)."""
-    from .lint import run_lints
-    from .x509 import Certificate
-    from .x509.pem import load_certificate_bytes
+def _lint_one_file(path: str, args: argparse.Namespace, engine) -> int:
+    """Lint one file (or stdin) through the staged engine; returns the
+    per-file exit status (0 compliant, 1 findings, 2 unreadable or
+    unparseable).  Engine ingest matches the service: PEM, raw DER, or
+    base64 of either are all accepted, with the shared error taxonomy."""
+    from .engine.ingest import IngestError, read_path
 
-    if path == "-":
-        data = sys.stdin.buffer.read()
-    else:
-        try:
-            with open(path, "rb") as handle:
-                data = handle.read()
-        except OSError as exc:
-            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
-            return 2
     try:
-        cert = Certificate.from_der(load_certificate_bytes(data))
-    except Exception as exc:
-        print(f"error: input is not a parseable certificate: {exc}", file=sys.stderr)
+        source = read_path(path)
+    except IngestError as exc:
+        print(f"error: {exc.message}", file=sys.stderr)
         return 2
-    report = run_lints(
-        cert, respect_effective_dates=not args.ignore_effective_dates
+    item = engine.lint_bytes(
+        source.data,
+        origin=path,
+        respect_effective_dates=not args.ignore_effective_dates,
     )
+    if not item.ok:
+        message = item.error
+        if item.error_code != "unparseable_certificate":
+            message = f"input is not a parseable certificate: {message}"
+        print(f"error: {message}", file=sys.stderr)
+        return 2
     if args.json:
-        from .lint import report_to_json
-
-        print(report_to_json(report, cert))
-        return 1 if report.findings else 0
-    print(f"subject: {cert.subject.rfc4514_string()}")
-    print(f"issuer:  {cert.issuer.rfc4514_string()}")
-    print(f"validity: {cert.not_before.date()} .. {cert.not_after.date()}")
-    if not report.findings:
-        print("compliant: no findings")
-        return 0
-    print(f"{len(report.findings)} finding(s):")
-    for result in report.findings:
-        print(f"  [{result.status.value.upper():5}] {result.lint.name}")
-        if result.details:
-            print(f"          {result.details}")
-        print(f"          {result.lint.citation}")
-    return 1
+        print(engine.render_json(item))
+        return 1 if item.report.findings else 0
+    print("\n".join(engine.render_text(item)))
+    return 1 if item.report.findings else 0
 
 
 _LINT_STATUS_WORDS = {0: "compliant", 1: "noncompliant", 2: "error"}
+
+
+def _print_engine_stats(stats) -> None:
+    """Emit the per-stage breakdown on stderr (stdout stays parity-clean)."""
+    print("\n".join(stats.render_lines()), file=sys.stderr)
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -72,19 +63,27 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     # parity tests compare against it); multiple files add a per-file
     # header and a status summary on stderr, and exit with the worst
     # per-file status (2 = unreadable dominates 1 = findings).
+    from .engine import Engine
+
+    engine = Engine()
     if len(args.files) == 1:
-        return _lint_one_file(args.files[0], args)
+        status = _lint_one_file(args.files[0], args, engine)
+        if args.stats:
+            _print_engine_stats(engine.stats)
+        return status
     statuses: list[tuple[str, int]] = []
     for index, path in enumerate(args.files):
         if not args.json:
             if index:
                 print()
             print(f"== {path} ==")
-        statuses.append((path, _lint_one_file(path, args)))
+        statuses.append((path, _lint_one_file(path, args, engine)))
     for path, status in statuses:
         print(
             f"{path}: {_LINT_STATUS_WORDS[status]} ({status})", file=sys.stderr
         )
+    if args.stats:
+        _print_engine_stats(engine.stats)
     return max(status for _, status in statuses)
 
 
@@ -114,6 +113,8 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     from .ct import CorpusGenerator
     from .lint import NoncomplianceType
 
+    from .engine import EngineStats
+
     corpus = CorpusGenerator(seed=args.seed, scale=args.scale).generate()
     if args.export:
         from .ct import export_corpus
@@ -122,10 +123,11 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
         print(f"exported corpus to {root}")
     print(f"generated {len(corpus.records)} Unicerts "
           f"({len(corpus.by_issuer())} issuer organizations)")
-    # The sharded pipeline is exact, so the printed landscape below is
+    # The engine pipeline is exact, so the printed landscape below is
     # byte-identical for every --jobs value (tested; do not print the
     # job count itself here, or that guarantee breaks across machines).
-    reports = lint_corpus(corpus, jobs=args.jobs)
+    stats = EngineStats()
+    reports = lint_corpus(corpus, jobs=args.jobs, stats=stats)
     table = build_table1(corpus, reports)
     print(f"noncompliant: {table.nc_certs} ({table.nc_rate:.2%})")
     print(f"trusted share: {table.trusted_share:.1%}")
@@ -135,6 +137,8 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     print("top lints:")
     for name, count in top_lints(reports, count=args.top):
         print(f"  {count:>6}  {name}")
+    if args.stats:
+        _print_engine_stats(stats)
     return 0
 
 
@@ -234,6 +238,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("--ignore-effective-dates", action="store_true")
     lint.add_argument("--json", action="store_true", help="emit a JSON report")
+    lint.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the engine's per-stage timing breakdown on stderr",
+    )
     lint.set_defaults(func=_cmd_lint)
 
     rules = sub.add_parser("rules", help="list the 95 constraint rules")
@@ -253,6 +262,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="lint worker processes (default: os.cpu_count(); "
         "output is identical for every value)",
+    )
+    corpus.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the engine's per-stage timing breakdown on stderr",
     )
     corpus.set_defaults(func=_cmd_corpus)
 

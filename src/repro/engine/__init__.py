@@ -1,0 +1,56 @@
+"""Staged lint engine: one pipeline behind every entry point.
+
+The paper's measurement system is one conceptual pipeline — ingest
+certificate bytes, decode DER, run the 95-rule registry, aggregate —
+but the repo used to implement it four separate times (CLI loop,
+sharded parallel path, service batcher, benchmark loops).
+:mod:`repro.engine` models the run as explicit stages composed by
+pluggable executors and sinks, with per-stage instrumentation on an
+injectable :class:`EngineStats` collector:
+
+* :mod:`repro.engine.ingest` — unified PEM/DER/base64 sniffing and the
+  shared ``empty_body``/``bad_pem``/``bad_body`` error taxonomy;
+* :mod:`repro.engine.pipeline` — the :class:`Engine` core (stages);
+* :mod:`repro.engine.executors` — serial reference semantics and the
+  process-pool fan-out;
+* :mod:`repro.engine.sinks` — CLI JSON/text documents, exact
+  ``CorpusSummary`` merge, service response bodies;
+* :mod:`repro.engine.worker` — picklable worker-side primitives that
+  ship :class:`StageTimings` back across the process boundary;
+* :mod:`repro.engine.stats` — the collector surfaced as
+  ``repro lint --stats``, the service ``/metrics`` ``stages`` block,
+  and the per-stage breakdowns in ``BENCH_lint_throughput.json``.
+"""
+
+from .executors import PoolExecutor, SerialExecutor
+from .ingest import IngestError, SourceItem, corpus_records, read_path, sniff_certificate_bytes
+from .pipeline import Engine, EngineItem, run_corpus
+from .sinks import (
+    SummarySink,
+    merge_shard_results,
+    render_json_report,
+    render_text_report,
+)
+from .stats import EngineStats, StageTimings
+from .worker import TimedBatch, lint_ders_timed
+
+__all__ = [
+    "Engine",
+    "EngineItem",
+    "EngineStats",
+    "IngestError",
+    "PoolExecutor",
+    "SerialExecutor",
+    "SourceItem",
+    "StageTimings",
+    "SummarySink",
+    "TimedBatch",
+    "corpus_records",
+    "lint_ders_timed",
+    "merge_shard_results",
+    "read_path",
+    "render_json_report",
+    "render_text_report",
+    "run_corpus",
+    "sniff_certificate_bytes",
+]

@@ -1,0 +1,207 @@
+"""The staged lint engine: ingest → decode → lint → sink, instrumented.
+
+Every entry point in the repo — the CLI ``lint``/``corpus`` commands,
+the ``repro.lint.parallel`` public API, the service batcher, and the
+throughput benchmarks — is a thin composition over this module, so
+scaling work (new executors, new sinks, stage-level profiling) lands
+once instead of four times:
+
+* **ingest** — resolve input to certificate DER: unified PEM/DER/base64
+  sniffing for single inputs (:mod:`repro.engine.ingest`), deterministic
+  shard-task serialization for corpora;
+* **decode** — ``Certificate.from_der`` with parse errors *recorded* on
+  the item (taxonomy code + message), never silently swallowed;
+* **lint** — ``LintContext`` + ``RegistryIndex`` execution via a
+  pluggable executor (:mod:`repro.engine.executors`): inline serial
+  (the reference semantics) or a process pool;
+* **sink** — CLI JSON/text documents, exact ``CorpusSummary`` merge, or
+  the service response body (:mod:`repro.engine.sinks`).
+
+Each :class:`Engine` owns an injectable
+:class:`~repro.engine.stats.EngineStats` collector; stage timings from
+worker processes are folded back in exactly, so one collector describes
+a run regardless of which executor carried it.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+from ..lint.parallel import (
+    ParallelLintOutcome,
+    build_shard_tasks,
+    default_shard_count,
+    resolve_jobs,
+)
+from ..lint.runner import CertificateReport, run_lints
+from ..x509 import Certificate
+from .executors import PoolExecutor, SerialExecutor
+from .ingest import IngestError, corpus_records, sniff_certificate_bytes
+from .sinks import merge_shard_results, render_json_report, render_text_report
+from .stats import EngineStats
+
+
+@dataclass
+class EngineItem:
+    """One certificate's journey through the staged pipeline.
+
+    Stage failures are recorded (``error_code`` from the shared ingest
+    taxonomy, or ``unparseable_certificate`` from decode) instead of
+    raised, so callers decide their own failure surface — exit status 2
+    for the CLI, HTTP 400 for the service.
+    """
+
+    origin: str
+    data: bytes | None = None
+    der: bytes | None = None
+    cert: Certificate | None = None
+    issued_at: _dt.datetime | None = None
+    report: CertificateReport | None = None
+    error_code: str | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether every stage so far succeeded."""
+        return self.error_code is None
+
+
+class Engine:
+    """Composes the four stages around one stats collector.
+
+    ``stats`` is injectable (the service shares a daemon-lifetime
+    collector; the CLI and benchmarks create one per run); omitted, a
+    private collector is created so instrumentation is always on — the
+    timers are a handful of ``perf_counter`` calls per certificate,
+    far below lint cost.
+    """
+
+    def __init__(self, stats: EngineStats | None = None):
+        self.stats = stats if stats is not None else EngineStats()
+
+    # -- single-certificate path (CLI lint, service admission) --------
+
+    def ingest_bytes(self, data: bytes, origin: str = "<bytes>") -> EngineItem:
+        """Ingest stage: sniff PEM/DER/base64 input down to DER."""
+        item = EngineItem(origin=origin, data=data)
+        with self.stats.time("ingest", items=1):
+            try:
+                item.der = sniff_certificate_bytes(data)
+            except IngestError as exc:
+                item.error_code = exc.code
+                item.error = exc.message
+        return item
+
+    def decode_item(self, item: EngineItem) -> EngineItem:
+        """Decode stage: parse DER, recording (never raising) failures."""
+        if not item.ok:
+            return item
+        with self.stats.time("decode", items=1):
+            try:
+                item.cert = Certificate.from_der(item.der)
+            except Exception as exc:
+                item.error_code = "unparseable_certificate"
+                item.error = f"input is not a parseable certificate: {exc}"
+        if item.ok:
+            self.stats.count_certs(1, len(item.der))
+        return item
+
+    def lint_item(
+        self, item: EngineItem, respect_effective_dates: bool = True
+    ) -> EngineItem:
+        """Lint stage: run the full registry over a decoded certificate."""
+        if not item.ok:
+            return item
+        with self.stats.time("lint", items=1):
+            item.report = run_lints(
+                item.cert,
+                issued_at=item.issued_at,
+                respect_effective_dates=respect_effective_dates,
+            )
+        return item
+
+    def lint_bytes(
+        self,
+        data: bytes,
+        origin: str = "<bytes>",
+        respect_effective_dates: bool = True,
+    ) -> EngineItem:
+        """Ingest → decode → lint one input; failures stay on the item."""
+        item = self.ingest_bytes(data, origin)
+        self.decode_item(item)
+        return self.lint_item(item, respect_effective_dates)
+
+    def render_json(self, item: EngineItem) -> str:
+        """Sink stage: the CLI-identical JSON document for one item."""
+        with self.stats.time("sink", items=1):
+            return render_json_report(item.report, item.cert)
+
+    def render_text(self, item: EngineItem) -> list[str]:
+        """Sink stage: the CLI's human-readable report lines."""
+        with self.stats.time("sink", items=1):
+            return render_text_report(item.report, item.cert)
+
+    # -- corpus path (CLI corpus, parallel API, benchmarks) -----------
+
+    def run_corpus(
+        self,
+        corpus,
+        jobs: int | None = None,
+        *,
+        shards: int | None = None,
+        respect_effective_dates: bool = True,
+        collect_reports: bool = False,
+        optimized: bool = True,
+        pool=None,
+        executor=None,
+    ) -> ParallelLintOutcome:
+        """Lint a whole corpus through the staged pipeline, exactly.
+
+        Semantics are those of the original ``lint_corpus_parallel``:
+        deterministic contiguous shards, ``jobs`` clamped so no worker
+        outnumbers the records, the inline serial executor whenever one
+        process suffices (``jobs=1`` or a single shard), and an exact
+        ``CorpusSummary`` merge — every executor choice yields
+        byte-identical output.  Pass ``executor`` to override strategy
+        selection, or ``pool`` to reuse a long-lived worker pool.
+        """
+        records = corpus_records(corpus)
+        total = len(records)
+        jobs = pool.jobs if pool is not None else resolve_jobs(jobs, total=total)
+        if not records:
+            return merge_shard_results([], jobs, collect_reports)
+        if shards is None:
+            shards = default_shard_count(total, jobs)
+        with self.stats.time("ingest", items=total):
+            tasks = build_shard_tasks(
+                corpus,
+                shards,
+                respect_effective_dates=respect_effective_dates,
+                collect_reports=collect_reports,
+                optimized=optimized,
+            )
+        if executor is None:
+            if pool is None and (jobs == 1 or len(tasks) <= 1):
+                executor = SerialExecutor()
+            else:
+                executor = PoolExecutor(jobs, pool=pool)
+        self.stats.record_shards(
+            [len(task.certs_der) for task in tasks], jobs=executor.jobs
+        )
+        results = executor.run(tasks)
+        for result in results:
+            if result.timings is not None:
+                self.stats.merge_timings(result.timings)
+        with self.stats.time("sink", items=len(results)):
+            return merge_shard_results(results, executor.jobs, collect_reports)
+
+
+def run_corpus(corpus, jobs: int | None = None, **kwargs) -> ParallelLintOutcome:
+    """Module-level convenience: one-shot corpus run on a fresh engine.
+
+    Pass ``stats=`` to observe the run's per-stage breakdown; remaining
+    keyword arguments go to :meth:`Engine.run_corpus`.
+    """
+    stats = kwargs.pop("stats", None)
+    return Engine(stats).run_corpus(corpus, jobs, **kwargs)

@@ -1,0 +1,85 @@
+"""Sink stage: turn lint results into each entry point's output shape.
+
+Three sinks cover the repo's surfaces, all byte-compatible with the
+pre-engine code paths they replaced:
+
+* :func:`render_json_report` — the ``python -m repro lint --json``
+  document (also the service response body, which appends the trailing
+  newline ``print()`` would have added);
+* :func:`render_text_report` — the human CLI report lines;
+* :class:`SummarySink` — the exact :class:`CorpusSummary` merge over
+  per-shard results (Tables 1/11 aggregation), preserving corpus order
+  for collected reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..lint.parallel import ParallelLintOutcome, ShardResult
+from ..lint.runner import CertificateReport, CorpusSummary
+from ..lint.serialization import report_to_json
+from ..x509 import Certificate
+
+
+def render_json_report(report: CertificateReport, cert: Certificate) -> str:
+    """One certificate's report as the CLI-identical JSON document."""
+    return report_to_json(report, cert)
+
+
+def render_text_report(report: CertificateReport, cert: Certificate) -> list[str]:
+    """One certificate's report as the CLI's human-readable lines.
+
+    Byte-identical to the historical ``repro lint`` output (the
+    single-file format the service parity tests compare against).
+    """
+    lines = [
+        f"subject: {cert.subject.rfc4514_string()}",
+        f"issuer:  {cert.issuer.rfc4514_string()}",
+        f"validity: {cert.not_before.date()} .. {cert.not_after.date()}",
+    ]
+    if not report.findings:
+        lines.append("compliant: no findings")
+        return lines
+    lines.append(f"{len(report.findings)} finding(s):")
+    for result in report.findings:
+        lines.append(f"  [{result.status.value.upper():5}] {result.lint.name}")
+        if result.details:
+            lines.append(f"          {result.details}")
+        lines.append(f"          {result.lint.citation}")
+    return lines
+
+
+class SummarySink:
+    """Fold per-shard results into one exact corpus outcome.
+
+    Results are re-ordered by shard index before merging, so streaming
+    completion order (``as_completed``) never leaks into the output —
+    the merge algebra plus this canonical ordering is what makes
+    ``--jobs N`` byte-identical to ``--jobs 1``.
+    """
+
+    def collect(
+        self,
+        results: Iterable[ShardResult],
+        jobs: int,
+        collect_reports: bool = False,
+    ) -> ParallelLintOutcome:
+        """Merge shard results into a :class:`ParallelLintOutcome`."""
+        ordered = sorted(results, key=lambda r: r.index)
+        summary = CorpusSummary.merged(r.summary for r in ordered)
+        reports: list[CertificateReport] | None = None
+        if collect_reports:
+            reports = []
+            for shard in ordered:
+                reports.extend(shard.reports or [])
+        return ParallelLintOutcome(
+            summary=summary, reports=reports, jobs=jobs, shards=len(ordered)
+        )
+
+
+def merge_shard_results(
+    results: Sequence[ShardResult], jobs: int, collect_reports: bool = False
+) -> ParallelLintOutcome:
+    """Function-style convenience over :class:`SummarySink`."""
+    return SummarySink().collect(results, jobs, collect_reports)

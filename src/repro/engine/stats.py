@@ -1,0 +1,183 @@
+"""Per-stage instrumentation for the staged lint engine.
+
+Every engine run — CLI, parallel corpus, service batch, benchmark —
+threads one injectable :class:`EngineStats` collector through the four
+stages (``ingest`` → ``decode`` → ``lint`` → ``sink``).  The collector
+records monotonic wall time and item counts per stage, certificate and
+byte totals, cache hit/miss gauges, and the shard-balance gauge of the
+parallel executor.  Worker processes cannot share the parent's
+collector object, so the worker side accumulates into a picklable
+:class:`StageTimings` record that the parent folds back in with
+:meth:`EngineStats.merge_timings` — the same exact-merge discipline the
+:class:`~repro.lint.runner.CorpusSummary` algebra uses.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+#: Canonical stage order for rendering (unknown stages sort after).
+STAGE_ORDER = ("ingest", "decode", "lint", "sink")
+
+
+def _stage_sort_key(name: str) -> tuple[int, str]:
+    try:
+        return (STAGE_ORDER.index(name), name)
+    except ValueError:
+        return (len(STAGE_ORDER), name)
+
+
+@dataclass
+class StageTimings:
+    """A picklable, mergeable per-stage accounting record.
+
+    ``seconds`` and ``items`` are keyed by stage name.  Workers build
+    one of these per batch/shard and ship it across the process
+    boundary alongside the payload; merging is plain addition, so any
+    grouping of partial timings sums to the same totals.
+    """
+
+    seconds: dict[str, float] = field(default_factory=dict)
+    items: dict[str, int] = field(default_factory=dict)
+    certs: int = 0
+    bytes: int = 0
+
+    @contextmanager
+    def time(self, stage: str, items: int = 0):
+        """Context manager: add the elapsed monotonic time to ``stage``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(stage, time.perf_counter() - start, items)
+
+    def add(self, stage: str, seconds: float, items: int = 0) -> None:
+        """Record ``seconds`` of work (and ``items`` processed) for a stage."""
+        self.seconds[stage] = self.seconds.get(stage, 0.0) + seconds
+        if items:
+            self.items[stage] = self.items.get(stage, 0) + items
+
+    def merge(self, other: "StageTimings") -> "StageTimings":
+        """Fold another record into this one (exact; returns ``self``)."""
+        for stage, seconds in other.seconds.items():
+            self.seconds[stage] = self.seconds.get(stage, 0.0) + seconds
+        for stage, items in other.items.items():
+            self.items[stage] = self.items.get(stage, 0) + items
+        self.certs += other.certs
+        self.bytes += other.bytes
+        return self
+
+
+@dataclass
+class EngineStats:
+    """Injectable per-run stats collector for the staged engine.
+
+    One instance per logical run (a CLI invocation, a corpus pass, a
+    service daemon's lifetime).  Not thread-safe by design: the CLI and
+    benchmarks are single-threaded and the service touches it only from
+    the event loop — the same single-writer discipline as
+    :class:`repro.service.cache.ResultCache`.
+    """
+
+    timings: StageTimings = field(default_factory=StageTimings)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Shard-balance gauge: record counts of the last corpus run's shards.
+    shard_sizes: list[int] = field(default_factory=list)
+    jobs: int | None = None
+
+    # -- recording ----------------------------------------------------
+
+    def time(self, stage: str, items: int = 0):
+        """Time one stage (see :meth:`StageTimings.time`)."""
+        return self.timings.time(stage, items)
+
+    def add(self, stage: str, seconds: float, items: int = 0) -> None:
+        """Record pre-measured stage time (see :meth:`StageTimings.add`)."""
+        self.timings.add(stage, seconds, items)
+
+    def count_certs(self, certs: int = 1, nbytes: int = 0) -> None:
+        """Bump the certificate / ingested-byte totals."""
+        self.timings.certs += certs
+        self.timings.bytes += nbytes
+
+    def record_cache(self, hits: int = 0, misses: int = 0) -> None:
+        """Accumulate cache hit/miss gauges (service result cache)."""
+        self.cache_hits += hits
+        self.cache_misses += misses
+
+    def record_shards(self, sizes: list[int], jobs: int | None = None) -> None:
+        """Record the shard-size distribution of one parallel run."""
+        self.shard_sizes = list(sizes)
+        if jobs is not None:
+            self.jobs = jobs
+
+    def merge_timings(self, timings: StageTimings) -> None:
+        """Fold a worker-side :class:`StageTimings` into this collector."""
+        self.timings.merge(timings)
+
+    # -- rendering ----------------------------------------------------
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Per-stage seconds in canonical stage order."""
+        return {
+            stage: self.timings.seconds[stage]
+            for stage in sorted(self.timings.seconds, key=_stage_sort_key)
+        }
+
+    def to_dict(self) -> dict:
+        """The ``stages`` block: JSON-ready snapshot of this collector."""
+        stages = {
+            stage: {
+                "seconds": round(seconds, 6),
+                "items": self.timings.items.get(stage, 0),
+            }
+            for stage, seconds in self.stage_seconds().items()
+        }
+        payload: dict = {
+            "stages": stages,
+            "certs": self.timings.certs,
+            "bytes": self.timings.bytes,
+        }
+        if self.cache_hits or self.cache_misses:
+            payload["cache"] = {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+            }
+        if self.shard_sizes:
+            sizes = self.shard_sizes
+            payload["shards"] = {
+                "count": len(sizes),
+                "min": min(sizes),
+                "max": max(sizes),
+                "mean": round(sum(sizes) / len(sizes), 2),
+            }
+        if self.jobs is not None:
+            payload["jobs"] = self.jobs
+        return payload
+
+    def render_lines(self) -> list[str]:
+        """Human-readable breakdown (what ``repro lint --stats`` prints)."""
+        lines = ["engine stats:"]
+        for stage, seconds in self.stage_seconds().items():
+            items = self.timings.items.get(stage, 0)
+            suffix = f"  ({items} item{'s' if items != 1 else ''})" if items else ""
+            lines.append(f"  {stage + ':':<8}{seconds:9.4f}s{suffix}")
+        lines.append(
+            f"  certs: {self.timings.certs}   bytes: {self.timings.bytes}"
+        )
+        if self.cache_hits or self.cache_misses:
+            lines.append(
+                f"  cache: {self.cache_hits} hit(s), "
+                f"{self.cache_misses} miss(es)"
+            )
+        if self.shard_sizes:
+            sizes = self.shard_sizes
+            jobs = f", jobs {self.jobs}" if self.jobs is not None else ""
+            lines.append(
+                f"  shards: {len(sizes)} (min {min(sizes)}, max {max(sizes)}"
+                f"{jobs})"
+            )
+        return lines

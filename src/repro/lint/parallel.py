@@ -29,6 +29,15 @@ Design points:
   worker and reported as a structured failure; the parent raises
   :class:`ShardError` with the shard index and the worker traceback
   rather than hanging on a dead pool.
+
+As of the staged-engine refactor, the orchestration itself — executor
+selection, fail-fast streaming, exact merge, per-stage instrumentation
+— lives in :mod:`repro.engine`; :func:`lint_corpus_parallel` and
+:func:`summarize_corpus_parallel` are kept as thin, signature-stable
+shims over :meth:`repro.engine.Engine.run_corpus`.  The worker-side
+primitives (:func:`lint_shard`, :func:`lint_ders_to_json`,
+:class:`LintPool`) stay here so pickled task references keep a stable
+import path across fork and spawn.
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ import concurrent.futures as _cf
 import datetime as _dt
 import multiprocessing as _mp
 import os
+import time as _time
 import traceback
 from dataclasses import dataclass, field
 
@@ -80,13 +90,20 @@ class ShardTask:
 
 @dataclass
 class ShardResult:
-    """One unit of worker output: the shard's exact summary."""
+    """One unit of worker output: the shard's exact summary.
+
+    ``timings`` carries the worker-side per-stage accounting
+    (:class:`repro.engine.stats.StageTimings`) back across the process
+    boundary so the parent engine can fold decode/lint/sink seconds
+    into its run-level :class:`~repro.engine.stats.EngineStats`.
+    """
 
     index: int
     count: int
     summary: CorpusSummary = field(default_factory=CorpusSummary)
     reports: list[CertificateReport] | None = None
     error: str | None = None
+    timings: object | None = None
 
 
 @dataclass
@@ -99,10 +116,18 @@ class ParallelLintOutcome:
     shards: int
 
 
-def resolve_jobs(jobs: int | None) -> int:
-    """Normalize a ``--jobs`` value; ``None``/0 means all CPUs."""
+def resolve_jobs(jobs: int | None, total: int | None = None) -> int:
+    """Normalize a ``--jobs`` value; ``None``/0 means all CPUs.
+
+    When ``total`` (the record count) is given and positive, the result
+    is clamped so no more workers than records are provisioned — a
+    3-record corpus at ``--jobs 8`` forks 3 processes, not 8 (5 of
+    which could only ever receive empty shards' worth of work).
+    """
     if jobs is None or jobs <= 0:
-        return os.cpu_count() or 1
+        jobs = os.cpu_count() or 1
+    if total is not None and total > 0:
+        jobs = min(jobs, total)
     return jobs
 
 
@@ -111,14 +136,16 @@ def shard_bounds(total: int, shards: int) -> list[tuple[int, int]]:
     ranges, each of size ``total // shards`` or one more.
 
     Deterministic in ``(total, shards)`` alone; empty ranges are never
-    produced (fewer shards are returned when ``shards > total``).
+    produced (fewer shards are returned when ``shards > total``, and an
+    empty input yields no ranges regardless of the requested count —
+    zero-record corpora must never manufacture empty shard tasks).
     """
     if total < 0:
         raise ValueError(f"total must be non-negative, got {total}")
-    if shards <= 0:
-        raise ValueError(f"shards must be positive, got {shards}")
     if total == 0:
         return []
+    if shards <= 0:
+        raise ValueError(f"shards must be positive, got {shards}")
     shards = min(shards, total)
     base, extra = divmod(total, shards)
     bounds: list[tuple[int, int]] = []
@@ -167,16 +194,21 @@ def lint_shard(task: ShardTask) -> ShardResult:
     the worker-cached registry snapshot, and folded into a per-shard
     :class:`CorpusSummary`.
     """
+    from ..engine.stats import StageTimings
     from ..x509 import Certificate
 
     result = ShardResult(index=task.index, count=len(task.certs_der))
+    timings = StageTimings()
+    result.timings = timings
     reports: list[CertificateReport] | None = (
         [] if task.collect_reports else None
     )
     try:
         lints, index = _worker_schedule()
         for der, issued_at in zip(task.certs_der, task.issued_at):
+            start = _time.perf_counter()
             cert = Certificate.from_der(der)
+            decoded = _time.perf_counter()
             report = run_lints(
                 cert,
                 issued_at=issued_at,
@@ -185,9 +217,16 @@ def lint_shard(task: ShardTask) -> ShardResult:
                 optimized=task.optimized,
                 index=index,
             )
+            linted = _time.perf_counter()
             result.summary.add(report)
             if reports is not None:
                 reports.append(report)
+            sunk = _time.perf_counter()
+            timings.add("decode", decoded - start, 1)
+            timings.add("lint", linted - decoded, 1)
+            timings.add("sink", sunk - linted, 1)
+            timings.certs += 1
+            timings.bytes += len(der)
     except Exception as exc:
         result.error = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
         result.reports = None
@@ -271,6 +310,19 @@ class LintPool:
             lint_ders_to_json, ders, respect_effective_dates
         )
 
+    def submit_timed(
+        self, ders: tuple[bytes, ...], respect_effective_dates: bool = True
+    ):
+        """Dispatch an instrumented service micro-batch; the future
+        resolves to a :class:`repro.engine.worker.TimedBatch` whose
+        ``bodies`` are byte-identical to :meth:`submit_json` output and
+        whose ``timings`` carry the worker's per-stage seconds."""
+        from ..engine.worker import lint_ders_timed
+
+        return self.executor.submit(
+            lint_ders_timed, ders, respect_effective_dates
+        )
+
     def shutdown(self, wait: bool = True) -> None:
         if self._executor is not None:
             self._executor.shutdown(wait=wait, cancel_futures=not wait)
@@ -321,21 +373,6 @@ def _mp_context():
     return _mp.get_context("fork" if "fork" in methods else "spawn")
 
 
-def _merge_results(
-    results: list[ShardResult], jobs: int, collect_reports: bool
-) -> ParallelLintOutcome:
-    results.sort(key=lambda r: r.index)
-    summary = CorpusSummary.merged(r.summary for r in results)
-    reports: list[CertificateReport] | None = None
-    if collect_reports:
-        reports = []
-        for shard in results:
-            reports.extend(shard.reports or [])
-    return ParallelLintOutcome(
-        summary=summary, reports=reports, jobs=jobs, shards=len(results)
-    )
-
-
 def lint_corpus_parallel(
     corpus,
     jobs: int | None = None,
@@ -345,59 +382,34 @@ def lint_corpus_parallel(
     collect_reports: bool = False,
     optimized: bool = True,
     pool: LintPool | None = None,
+    stats=None,
 ) -> ParallelLintOutcome:
     """Lint a corpus with ``jobs`` worker processes and merge exactly.
 
-    ``jobs=None`` uses every CPU; ``jobs=1`` runs the identical shard
-    path inline (no pool), which is what makes the determinism guarantee
-    testable: every job count executes the same serialize → parse →
-    lint → summarize → merge sequence over the same shard boundaries.
+    Signature-stable shim over :meth:`repro.engine.Engine.run_corpus`:
+    ``jobs=None`` uses every CPU (clamped to the record count);
+    ``jobs=1`` runs the identical shard path inline through the serial
+    executor, which is what makes the determinism guarantee testable —
+    every job count executes the same serialize → parse → lint →
+    summarize → merge sequence over the same shard boundaries.
 
     Pass ``pool`` to reuse a long-lived :class:`LintPool` (the service
-    does); otherwise an ephemeral pool is created and torn down here.
+    does), and ``stats`` (a :class:`repro.engine.stats.EngineStats`) to
+    observe the run's per-stage breakdown.
 
     Raises :class:`ShardError` as soon as any shard reports a failure.
     """
-    records = _records_of(corpus)
-    jobs = pool.jobs if pool is not None else resolve_jobs(jobs)
-    if not records:
-        return _merge_results([], jobs, collect_reports)
-    if shards is None:
-        shards = default_shard_count(len(records), jobs)
-    tasks = build_shard_tasks(
+    from ..engine.pipeline import Engine
+
+    return Engine(stats).run_corpus(
         corpus,
-        shards,
+        jobs,
+        shards=shards,
         respect_effective_dates=respect_effective_dates,
         collect_reports=collect_reports,
         optimized=optimized,
+        pool=pool,
     )
-    results: list[ShardResult] = []
-    if pool is None and (jobs == 1 or len(tasks) <= 1):
-        for task in tasks:
-            result = lint_shard(task)
-            if result.error:
-                raise ShardError(result.index, result.error)
-            results.append(result)
-        return _merge_results(results, 1, collect_reports)
-    owned = pool is None
-    if pool is None:
-        pool = LintPool(jobs)
-    try:
-        futures = [pool.submit_shard(task) for task in tasks]
-        # as_completed streams results back as shards finish; the parent
-        # fails fast on the first structured error instead of waiting
-        # for the stragglers.
-        for future in _cf.as_completed(futures):
-            result = future.result()
-            if result.error:
-                for pending in futures:
-                    pending.cancel()
-                raise ShardError(result.index, result.error)
-            results.append(result)
-    finally:
-        if owned:
-            pool.shutdown(wait=False)
-    return _merge_results(results, jobs, collect_reports)
 
 
 def summarize_corpus_parallel(

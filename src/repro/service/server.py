@@ -33,8 +33,7 @@ render with ``report_to_json(report, cert)``.
 from __future__ import annotations
 
 import asyncio
-import base64
-import binascii
+import concurrent.futures as _cf
 import contextlib
 import json
 import signal
@@ -42,9 +41,10 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
+from ..engine.ingest import IngestError, sniff_certificate_bytes
+from ..engine.stats import EngineStats
 from ..lint.parallel import LintPool
 from ..x509 import Certificate
-from ..x509.pem import PEMError, decode_pem
 from .batcher import MicroBatcher
 from .cache import ResultCache, cache_key
 from .http import (
@@ -74,33 +74,18 @@ class ServiceConfig:
 
 
 def decode_certificate_body(data: bytes) -> bytes:
-    """Accept PEM, raw DER, or base64-of-either; return DER bytes."""
-    if not data.strip():
-        raise HttpError(400, "empty_body", "request body is empty")
-    if data[:1] == b"\x30":  # DER SEQUENCE tag: raw bytes, pass untouched
-        return data
-    data = data.strip()
-    if data.startswith(b"-----BEGIN"):
-        try:
-            return decode_pem(data.decode("ascii", errors="replace"), label="CERTIFICATE")
-        except PEMError as exc:
-            raise HttpError(400, "bad_pem", f"invalid PEM body: {exc}") from exc
+    """Accept PEM, raw DER, or base64-of-either; return DER bytes.
+
+    Thin HTTP adapter over the engine's unified ingest stage
+    (:func:`repro.engine.ingest.sniff_certificate_bytes`): the CLI and
+    the service now share one sniffing implementation and one
+    ``empty_body``/``bad_pem``/``bad_body`` taxonomy, surfaced here as
+    structured 400s.
+    """
     try:
-        decoded = base64.b64decode(b"".join(data.split()), validate=True)
-    except (binascii.Error, ValueError) as exc:
-        raise HttpError(
-            400,
-            "bad_body",
-            "body is neither PEM, DER, nor base64 of either",
-        ) from exc
-    if decoded.startswith(b"-----BEGIN"):
-        try:
-            return decode_pem(
-                decoded.decode("ascii", errors="replace"), label="CERTIFICATE"
-            )
-        except PEMError as exc:
-            raise HttpError(400, "bad_pem", f"invalid PEM body: {exc}") from exc
-    return decoded
+        return sniff_certificate_bytes(data)
+    except IngestError as exc:
+        raise HttpError(400, exc.code, exc.message) from exc
 
 
 def _parse_der(der: bytes) -> Certificate:
@@ -144,6 +129,7 @@ class LintService:
         self.config = config or ServiceConfig()
         self._pool = pool
         self._owns_pool = pool is None
+        self.engine_stats = EngineStats()
         self.cache = ResultCache(self.config.cache_size)
         self.batcher = MicroBatcher(
             self._dispatch,
@@ -203,7 +189,28 @@ class LintService:
     # -- pool bridge --------------------------------------------------
 
     def _dispatch(self, ders):
-        return self._pool.submit_json(ders)
+        """Dispatch one micro-batch through the engine's timed worker
+        path, folding the worker's per-stage seconds into this daemon's
+        :class:`EngineStats` (surfaced as the ``stages`` block of
+        ``/metrics``).  Injected pools without ``submit_timed`` (tests
+        wedge minimal fakes) fall back to the untimed primitive."""
+        submit_timed = getattr(self._pool, "submit_timed", None)
+        if submit_timed is None:
+            return self._pool.submit_json(ders)
+        inner = submit_timed(ders)
+        outer: _cf.Future = _cf.Future()
+
+        def _unwrap(done: _cf.Future) -> None:
+            try:
+                batch = done.result()
+            except BaseException as exc:
+                outer.set_exception(exc)
+                return
+            self.engine_stats.merge_timings(batch.timings)
+            outer.set_result(batch.bodies)
+
+        inner.add_done_callback(_unwrap)
+        return outer
 
     # -- connection handling ------------------------------------------
 
@@ -266,7 +273,9 @@ class LintService:
         key = cache_key(der)
         cached = self.cache.get(key)
         if cached is not None:
+            self.engine_stats.record_cache(hits=1)
             return cached
+        self.engine_stats.record_cache(misses=1)
         shared = self._inflight.get(key)
         if shared is None:
             if self._draining:
@@ -399,6 +408,7 @@ class LintService:
             },
             "cache": self.cache.stats(),
             "batcher": self.batcher.stats(),
+            "stages": self.engine_stats.to_dict(),
             "draining": self._draining,
         }
 

@@ -55,7 +55,7 @@ _LINT_DEF_MODULES = (
 )
 
 #: Packages whose parse/service paths the hygiene checker covers.
-_HYGIENE_PACKAGES = ("asn1", "x509", "uni", "lint", "service")
+_HYGIENE_PACKAGES = ("asn1", "x509", "uni", "lint", "service", "engine")
 
 
 def lint_module_paths(pkg_root: Path = PKG_ROOT) -> list[Path]:

@@ -1,0 +1,163 @@
+"""Satellite 2: sharding/job-resolution edge cases, executor parity.
+
+``resolve_jobs`` must clamp to the record count, zero-record corpora
+must never manufacture empty shard tasks, and a single-record corpus
+must produce exactly one non-empty task no matter how many shards are
+requested.  Executors are interchangeable: serial and pool runs over
+the same tasks merge to byte-identical summaries, and both surface a
+worker failure as :class:`ShardError`.
+"""
+
+import datetime as dt
+import os
+
+import pytest
+
+from repro.engine import PoolExecutor, SerialExecutor, merge_shard_results, run_corpus
+from repro.lint import summary_to_json
+from repro.lint.runner import CorpusSummary
+from repro.lint.parallel import (
+    ShardError,
+    ShardTask,
+    build_shard_tasks,
+    default_shard_count,
+    lint_corpus_parallel,
+    resolve_jobs,
+    shard_bounds,
+)
+from repro.x509 import (
+    CertificateBuilder,
+    GeneralName,
+    generate_keypair,
+    subject_alt_name,
+)
+
+KEY = generate_keypair(seed=4003)
+
+
+class _Record:
+    """Minimal stand-in for a corpus record (certificate + issued_at)."""
+
+    def __init__(self, certificate, issued_at=None):
+        self.certificate = certificate
+        self.issued_at = issued_at
+
+
+def make_records(count):
+    records = []
+    for i in range(count):
+        cert = (
+            CertificateBuilder()
+            .subject_cn(f"edge-{i}.example.com")
+            .not_before(dt.datetime(2024, 1, 1))
+            .add_extension(
+                subject_alt_name(GeneralName.dns(f"edge-{i}.example.com"))
+            )
+            .sign(KEY)
+        )
+        records.append(_Record(cert))
+    return records
+
+
+class TestResolveJobs:
+    def test_clamped_to_record_count(self):
+        assert resolve_jobs(8, total=3) == 3
+
+    def test_not_clamped_when_total_unknown(self):
+        assert resolve_jobs(8) == 8
+
+    def test_zero_total_leaves_jobs_unclamped(self):
+        # An empty corpus still reports the jobs the caller asked for.
+        assert resolve_jobs(8, total=0) == 8
+
+    def test_all_cpus_clamped_by_tiny_corpus(self):
+        assert resolve_jobs(None, total=2) == min(os.cpu_count() or 1, 2)
+
+
+class TestShardBounds:
+    def test_empty_input_yields_no_ranges(self):
+        assert shard_bounds(0, 4) == []
+
+    def test_empty_input_even_with_zero_shards(self):
+        # The zero-record corpus path computes shards=0; that must not
+        # trip the shards-must-be-positive guard.
+        assert shard_bounds(0, 0) == []
+
+    def test_zero_shards_with_records_still_raises(self):
+        with pytest.raises(ValueError):
+            shard_bounds(10, 0)
+
+    def test_more_shards_than_records_never_empty(self):
+        bounds = shard_bounds(3, 8)
+        assert len(bounds) == 3
+        assert all(stop > start for start, stop in bounds)
+
+    def test_default_shard_count_of_empty_corpus_is_zero(self):
+        assert default_shard_count(0, 8) == 0
+
+
+class TestShardTasks:
+    def test_single_record_corpus_one_nonempty_task(self):
+        records = make_records(1)
+        tasks = build_shard_tasks(records, shards=8)
+        assert len(tasks) == 1
+        assert len(tasks[0].certs_der) == 1
+
+    def test_no_task_is_ever_empty(self):
+        records = make_records(5)
+        for shards in (1, 2, 5, 9):
+            tasks = build_shard_tasks(records, shards=shards)
+            assert tasks, f"shards={shards} produced no tasks"
+            assert all(task.certs_der for task in tasks)
+
+
+class TestEmptyCorpus:
+    def test_run_corpus_empty_is_a_clean_no_op(self):
+        outcome = run_corpus([], jobs=4)
+        assert outcome.shards == 0
+        assert outcome.reports is None
+        assert summary_to_json(outcome.summary) == summary_to_json(
+            CorpusSummary()
+        )
+
+    def test_run_corpus_empty_with_reports_collects_nothing(self):
+        outcome = run_corpus([], jobs=4, collect_reports=True)
+        assert outcome.reports == []
+
+
+class TestJobsExceedRecords:
+    def test_pool_run_clamps_workers(self):
+        records = make_records(3)
+        outcome = lint_corpus_parallel(records, jobs=8, shards=3)
+        # Three records, three shards: the pool is provisioned with
+        # three workers, not eight.
+        assert outcome.jobs == 3
+        assert outcome.shards == 3
+
+    def test_tiny_corpus_collapses_to_serial(self):
+        records = make_records(2)
+        outcome = lint_corpus_parallel(records, jobs=8)
+        # Two records fit one shard, which runs inline.
+        assert outcome.jobs == 1
+        assert outcome.shards == 1
+
+
+class TestExecutorParity:
+    def test_serial_and_pool_merge_identically(self):
+        records = make_records(6)
+        tasks = build_shard_tasks(records, shards=3)
+        serial = SerialExecutor().run(tasks)
+        pool = PoolExecutor(2).run(tasks)
+        assert summary_to_json(
+            merge_shard_results(serial, 1).summary
+        ) == summary_to_json(merge_shard_results(pool, 2).summary)
+
+    def test_serial_executor_raises_shard_error(self):
+        bad = ShardTask(index=0, certs_der=(b"\x30\x00",), issued_at=(None,))
+        with pytest.raises(ShardError):
+            SerialExecutor().run([bad])
+
+    def test_pool_executor_raises_shard_error(self):
+        bad = ShardTask(index=0, certs_der=(b"\x30\x00",), issued_at=(None,))
+        with pytest.raises(ShardError):
+            PoolExecutor(2).run([bad])

@@ -1,0 +1,154 @@
+"""EngineStats / StageTimings: merge algebra, rendering, surfaces.
+
+The per-stage collector must merge worker timings exactly (plain
+addition, any grouping), serialize to the ``stages`` block shared by
+the service ``/metrics`` and the throughput benchmark record, and
+surface through ``repro lint --stats`` / ``repro corpus --stats``.
+"""
+
+import datetime as dt
+
+from repro.cli import main
+from repro.engine import EngineStats, StageTimings, run_corpus
+from repro.x509 import (
+    CertificateBuilder,
+    GeneralName,
+    generate_keypair,
+    subject_alt_name,
+)
+from repro.x509.pem import encode_pem
+
+KEY = generate_keypair(seed=4004)
+
+
+def write_cert(tmp_path, name="stats.example.com"):
+    cert = (
+        CertificateBuilder()
+        .subject_cn(name)
+        .not_before(dt.datetime(2024, 1, 1))
+        .add_extension(subject_alt_name(GeneralName.dns(name)))
+        .sign(KEY)
+    )
+    path = tmp_path / "cert.pem"
+    path.write_text(encode_pem(cert.to_der()))
+    return str(path), cert
+
+
+class _Record:
+    """Minimal corpus record stand-in."""
+
+    def __init__(self, certificate, issued_at=None):
+        self.certificate = certificate
+        self.issued_at = issued_at
+
+
+class TestStageTimings:
+    def test_add_accumulates(self):
+        timings = StageTimings()
+        timings.add("lint", 0.25, 2)
+        timings.add("lint", 0.75, 3)
+        assert timings.seconds["lint"] == 1.0
+        assert timings.items["lint"] == 5
+
+    def test_merge_is_plain_addition(self):
+        a = StageTimings(seconds={"decode": 1.0}, items={"decode": 4}, certs=4, bytes=100)
+        b = StageTimings(seconds={"decode": 0.5, "lint": 2.0}, items={"lint": 4}, certs=4, bytes=60)
+        a.merge(b)
+        assert a.seconds == {"decode": 1.5, "lint": 2.0}
+        assert a.items == {"decode": 4, "lint": 4}
+        assert a.certs == 8
+        assert a.bytes == 160
+
+    def test_time_context_manager_records(self):
+        timings = StageTimings()
+        with timings.time("ingest", items=3):
+            pass
+        assert timings.seconds["ingest"] >= 0.0
+        assert timings.items["ingest"] == 3
+
+
+class TestEngineStatsRendering:
+    def test_to_dict_canonical_order_and_shape(self):
+        stats = EngineStats()
+        stats.add("sink", 0.1, 1)
+        stats.add("ingest", 0.2, 1)
+        stats.add("lint", 0.3, 1)
+        stats.add("decode", 0.4, 1)
+        payload = stats.to_dict()
+        assert list(payload["stages"]) == ["ingest", "decode", "lint", "sink"]
+        assert payload["stages"]["lint"] == {"seconds": 0.3, "items": 1}
+        assert payload["certs"] == 0
+        assert "cache" not in payload
+        assert "shards" not in payload
+
+    def test_cache_and_shard_gauges_appear_when_recorded(self):
+        stats = EngineStats()
+        stats.record_cache(hits=2, misses=1)
+        stats.record_shards([3, 3, 2], jobs=2)
+        payload = stats.to_dict()
+        assert payload["cache"] == {"hits": 2, "misses": 1}
+        assert payload["shards"] == {"count": 3, "min": 2, "max": 3, "mean": 2.67}
+        assert payload["jobs"] == 2
+
+    def test_render_lines_header_and_totals(self):
+        stats = EngineStats()
+        stats.add("lint", 1.5, 10)
+        stats.count_certs(10, 4200)
+        lines = stats.render_lines()
+        assert lines[0] == "engine stats:"
+        assert any("lint:" in line for line in lines)
+        assert any("certs: 10" in line and "bytes: 4200" in line for line in lines)
+
+    def test_merge_timings_folds_worker_record(self):
+        stats = EngineStats()
+        worker = StageTimings(seconds={"lint": 2.0}, items={"lint": 7}, certs=7, bytes=70)
+        stats.merge_timings(worker)
+        assert stats.timings.seconds["lint"] == 2.0
+        assert stats.timings.certs == 7
+
+
+class TestStatsThreadedThroughRuns:
+    def test_corpus_run_populates_every_stage(self):
+        records = [
+            _Record(
+                CertificateBuilder()
+                .subject_cn(f"run-{i}.example.com")
+                .not_before(dt.datetime(2024, 1, 1))
+                .add_extension(
+                    subject_alt_name(GeneralName.dns(f"run-{i}.example.com"))
+                )
+                .sign(KEY)
+            )
+            for i in range(4)
+        ]
+        stats = EngineStats()
+        run_corpus(records, jobs=1, stats=stats)
+        seconds = stats.stage_seconds()
+        assert set(seconds) == {"ingest", "decode", "lint", "sink"}
+        assert stats.timings.certs == 4
+        assert stats.timings.items["lint"] == 4
+        assert sum(stats.shard_sizes) == 4
+        assert stats.jobs == 1
+
+
+class TestCliStatsFlag:
+    def test_lint_stats_on_stderr(self, tmp_path, capsys):
+        path, _cert = write_cert(tmp_path)
+        assert main(["lint", path, "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "engine stats:" in captured.err
+        assert "lint:" in captured.err
+        # stdout keeps the parity-tested report format untouched.
+        assert "engine stats:" not in captured.out
+
+    def test_lint_without_stats_keeps_stderr_empty(self, tmp_path, capsys):
+        path, _cert = write_cert(tmp_path)
+        assert main(["lint", path]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_corpus_stats_on_stderr(self, capsys):
+        args = ["corpus", "--scale", "0.000005", "--seed", "3", "--stats"]
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        assert "engine stats:" in captured.err
+        assert "shards:" in captured.err

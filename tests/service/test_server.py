@@ -187,9 +187,27 @@ class TestIntrospection:
             "batcher",
             "queue",
             "rejected_total",
+            "stages",
         ):
             assert key in metrics
         assert metrics["queue"]["max"] == 256
+
+    def test_metrics_stages_block(self, service):
+        # The engine's per-stage collector surfaces through /metrics:
+        # after a real lint the worker's decode/lint/sink seconds are
+        # folded into the daemon-lifetime stages block.
+        cert = build_cert("stages-probe.example.com", serial=779)
+        client = service.client()
+        status, _body = client.lint_raw(cert.to_der())
+        assert status == 200
+        stages = client.metrics()["stages"]
+        assert stages["certs"] >= 1
+        for stage in ("decode", "lint", "sink"):
+            assert stages["stages"][stage]["seconds"] >= 0.0
+            assert stages["stages"][stage]["items"] >= 1
+        # A repeat of the same certificate is an engine-level cache hit.
+        client.lint_raw(cert.to_der())
+        assert client.metrics()["stages"]["cache"]["hits"] >= 1
 
 
 class _StuckPool:
