@@ -121,6 +121,9 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
 
         root = export_corpus(corpus, args.export)
         print(f"exported corpus to {root}")
+    if args.store:
+        path = corpus.to_store(args.store)
+        print(f"wrote corpus substrate to {path}")
     print(f"generated {len(corpus.records)} Unicerts "
           f"({len(corpus.by_issuer())} issuer organizations)")
     # The engine pipeline is exact, so the printed landscape below is
@@ -257,10 +260,15 @@ def build_parser() -> argparse.ArgumentParser:
     corpus.add_argument("--top", type=int, default=10)
     corpus.add_argument("--export", help="write the corpus dataset to a directory")
     corpus.add_argument(
+        "--store",
+        help="write the corpus to a memory-mapped substrate file "
+        "(the zero-copy form parallel lint runs dispatch from)",
+    )
+    corpus.add_argument(
         "--jobs",
         type=int,
         default=None,
-        help="lint worker processes (default: os.cpu_count(); "
+        help="lint worker processes (default: all usable CPUs; "
         "output is identical for every value)",
     )
     corpus.add_argument(

@@ -1,0 +1,32 @@
+"""Structured substrate failures.
+
+Every way a substrate file can be wrong maps to one stable ``code`` so
+callers (the parallel workers, the CLI, tests) can branch on taxonomy
+instead of message text — the same discipline as
+:class:`repro.engine.ingest.IngestError`:
+
+* ``unreadable`` — the file cannot be opened or statted at all;
+* ``bad_magic`` — not a substrate file;
+* ``bad_version`` — a future/unknown layout version;
+* ``truncated`` — the header promises more bytes than the file holds;
+* ``corrupt_header`` — internally inconsistent region offsets;
+* ``corrupt_index`` — an index entry points outside the DER region;
+* ``corrupt_data`` — checksum mismatch over the payload regions;
+* ``out_of_range`` — a record index past ``count``.
+"""
+
+from __future__ import annotations
+
+
+class CorpusStoreError(Exception):
+    """A substrate file could not be read safely.
+
+    Raising (rather than best-effort slicing) is the point: a truncated
+    or bit-flipped substrate must fail loudly before it can contribute
+    garbage records to a corpus summary.
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message

@@ -317,6 +317,19 @@ class Corpus:
 
         return lint_corpus_parallel(self, jobs, **kwargs)
 
+    def to_store(self, path):
+        """Serialize this corpus to a memory-mapped substrate file.
+
+        Returns the written path.  Reopening it with
+        :class:`repro.corpusstore.CorpusStore` feeds the engine the
+        zero-copy form: ``Engine.run_corpus(store, jobs=N)`` dispatches
+        ``(path, start, stop)`` shard references instead of pickled DER
+        and yields the byte-identical summary.
+        """
+        from ..corpusstore import write_store
+
+        return write_store(self, path)
+
     def __len__(self) -> int:
         return len(self.records)
 

@@ -38,6 +38,9 @@ class SerialExecutor:
     """Run every shard inline, in order — the reference semantics."""
 
     jobs = 1
+    #: Worker timings from this executor were measured *in this
+    #: process*: their wall clock is the caller's wall clock.
+    distributed = False
 
     def run(self, tasks: Sequence[ShardTask]) -> list[ShardResult]:
         """Execute the shards one after another in this process."""
@@ -58,9 +61,24 @@ class PoolExecutor:
     torn down afterwards.
     """
 
+    #: Worker timings come from other processes; their wall clocks
+    #: overlap and must not sum into the parent's wall block.
+    distributed = True
+
     def __init__(self, jobs: int | None = None, pool: LintPool | None = None):
         self.pool = pool
-        self.jobs = pool.jobs if pool is not None else resolve_jobs(jobs)
+        if pool is not None:
+            # An explicit jobs request rides along with a shared pool by
+            # clamping to the pool's actual worker count — a pool of 4
+            # cannot honor jobs=8, and silently ignoring jobs=2 would
+            # misreport the run's parallelism.
+            self.jobs = (
+                min(resolve_jobs(jobs), pool.jobs)
+                if jobs is not None
+                else pool.jobs
+            )
+        else:
+            self.jobs = resolve_jobs(jobs)
         self._jobs_arg = jobs
 
     def run(self, tasks: Sequence[ShardTask]) -> list[ShardResult]:

@@ -26,13 +26,17 @@ a run regardless of which executor carried it.
 from __future__ import annotations
 
 import datetime as _dt
+import os as _os
+import tempfile as _tempfile
 from dataclasses import dataclass
 
 from ..lint.parallel import (
     ParallelLintOutcome,
     build_shard_tasks,
+    build_store_shard_tasks,
     default_shard_count,
     resolve_jobs,
+    shard_bounds,
 )
 from ..lint.runner import CertificateReport, run_lints
 from ..x509 import Certificate
@@ -164,37 +168,94 @@ class Engine:
         process suffices (``jobs=1`` or a single shard), and an exact
         ``CorpusSummary`` merge — every executor choice yields
         byte-identical output.  Pass ``executor`` to override strategy
-        selection, or ``pool`` to reuse a long-lived worker pool.
+        selection, or ``pool`` to reuse a long-lived worker pool; an
+        explicit ``jobs`` alongside ``pool`` is reconciled by clamping
+        to the pool's worker count (and always to the record count).
+
+        ``corpus`` may be a :class:`repro.corpusstore.CorpusStore`:
+        shard tasks are then ``(path, start, stop)`` references into the
+        memory-mapped substrate and workers never receive pickled DER.
+        Plain corpora headed for a process pool are *spilled* to a
+        temporary substrate first for the same zero-copy dispatch (one
+        sequential write, unlinked after the run); serial runs keep the
+        inline task shape.
         """
-        records = corpus_records(corpus)
-        total = len(records)
-        jobs = pool.jobs if pool is not None else resolve_jobs(jobs, total=total)
-        if not records:
+        from ..corpusstore import CorpusStore, write_store
+
+        store = corpus if isinstance(corpus, CorpusStore) else None
+        if store is not None:
+            records = None
+            total = len(store)
+        else:
+            records = corpus_records(corpus)
+            total = len(records)
+        if pool is not None:
+            requested = jobs if jobs is not None else pool.jobs
+            jobs = min(resolve_jobs(requested, total=total), pool.jobs)
+        else:
+            jobs = resolve_jobs(jobs, total=total)
+        if total == 0:
             return merge_shard_results([], jobs, collect_reports)
         if shards is None:
             shards = default_shard_count(total, jobs)
-        with self.stats.time("ingest", items=total):
-            tasks = build_shard_tasks(
-                corpus,
-                shards,
-                respect_effective_dates=respect_effective_dates,
-                collect_reports=collect_reports,
-                optimized=optimized,
-            )
         if executor is None:
-            if pool is None and (jobs == 1 or len(tasks) <= 1):
+            if pool is None and (jobs == 1 or min(shards, total) <= 1):
                 executor = SerialExecutor()
             else:
                 executor = PoolExecutor(jobs, pool=pool)
-        self.stats.record_shards(
-            [len(task.certs_der) for task in tasks], jobs=executor.jobs
+        distributed = getattr(executor, "distributed", True)
+        task_kwargs = dict(
+            respect_effective_dates=respect_effective_dates,
+            collect_reports=collect_reports,
+            optimized=optimized,
         )
-        results = executor.run(tasks)
-        for result in results:
-            if result.timings is not None:
-                self.stats.merge_timings(result.timings)
-        with self.stats.time("sink", items=len(results)):
-            return merge_shard_results(results, executor.jobs, collect_reports)
+        spill_path = None
+        try:
+            with self.stats.time("ingest", items=total):
+                if store is not None:
+                    tasks = build_store_shard_tasks(
+                        store.path, total, shards, **task_kwargs
+                    )
+                elif distributed:
+                    # Zero-copy dispatch: one sequential substrate write
+                    # here beats pickling every shard's DER into the
+                    # executor pipe — tasks become O(1) references and
+                    # the bytes reach workers via the page cache.
+                    fd, spill_path = _tempfile.mkstemp(
+                        prefix="repro-corpus-", suffix=".rcs"
+                    )
+                    _os.close(fd)
+                    write_store(records, spill_path)
+                    tasks = build_store_shard_tasks(
+                        spill_path, total, shards, **task_kwargs
+                    )
+                else:
+                    tasks = build_shard_tasks(records, shards, **task_kwargs)
+            self.stats.record_shards(
+                [stop - start for start, stop in shard_bounds(total, shards)],
+                jobs=executor.jobs,
+            )
+            if distributed:
+                # Parent-side wall clock of the whole distributed phase;
+                # the workers' own wall columns are dropped on merge
+                # (they overlap — summing them would overcount).
+                with self.stats.time("execute", items=len(tasks)):
+                    results = executor.run(tasks)
+            else:
+                results = executor.run(tasks)
+            for result in results:
+                if result.timings is not None:
+                    self.stats.merge_timings(result.timings, worker=distributed)
+            with self.stats.time("sink", items=len(results)):
+                return merge_shard_results(
+                    results, executor.jobs, collect_reports
+                )
+        finally:
+            if spill_path is not None:
+                try:
+                    _os.unlink(spill_path)
+                except OSError:
+                    pass
 
 
 def run_corpus(corpus, jobs: int | None = None, **kwargs) -> ParallelLintOutcome:

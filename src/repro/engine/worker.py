@@ -50,8 +50,10 @@ def lint_ders_timed(
     timings = batch.timings
     for der in ders:
         start = time.perf_counter()
+        cstart = time.process_time()
         cert = Certificate.from_der(der)
         decoded = time.perf_counter()
+        cdecoded = time.process_time()
         report = run_lints(
             cert,
             lints=lints,
@@ -59,11 +61,13 @@ def lint_ders_timed(
             index=index,
         )
         linted = time.perf_counter()
+        clinted = time.process_time()
         batch.bodies.append(report_to_json(report, cert))
         rendered = time.perf_counter()
-        timings.add("decode", decoded - start, 1)
-        timings.add("lint", linted - decoded, 1)
-        timings.add("sink", rendered - linted, 1)
+        crendered = time.process_time()
+        timings.add("decode", decoded - start, cdecoded - cstart, 1)
+        timings.add("lint", linted - decoded, clinted - cdecoded, 1)
+        timings.add("sink", rendered - linted, crendered - clinted, 1)
         timings.certs += 1
         timings.bytes += len(der)
     return batch

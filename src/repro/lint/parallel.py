@@ -76,16 +76,34 @@ class ShardError(RuntimeError):
 
 @dataclass(frozen=True)
 class ShardTask:
-    """One unit of worker input: a contiguous slice of the corpus."""
+    """One unit of worker input: a contiguous slice of the corpus.
+
+    Two transport shapes, same worker semantics:
+
+    * **inline** — ``certs_der``/``issued_at`` carry the shard's records
+      in the task itself (pickled through the executor pipe);
+    * **substrate** — ``store_path`` names a
+      :class:`repro.corpusstore.CorpusStore` file and ``[start, stop)``
+      the shard's record range; the task pickle is O(1) and the DER
+      bytes flow to the worker through the page cache, never a pipe.
+
+    ``store_path`` being non-``None`` selects the substrate shape;
+    ``certs_der``/``issued_at`` are ignored in that case.
+    """
 
     index: int
-    certs_der: tuple[bytes, ...]
-    issued_at: tuple[_dt.datetime | None, ...]
+    certs_der: tuple[bytes, ...] = ()
+    issued_at: tuple[_dt.datetime | None, ...] = ()
     respect_effective_dates: bool = True
     collect_reports: bool = False
     #: False runs the legacy per-lint loop with caching disabled — the
     #: reference path the equivalence tests and benchmarks compare with.
     optimized: bool = True
+    #: Substrate transport: path to a corpus-store file plus the shard's
+    #: half-open record range within it.
+    store_path: str | None = None
+    start: int = 0
+    stop: int = 0
 
 
 @dataclass
@@ -116,8 +134,23 @@ class ParallelLintOutcome:
     shards: int
 
 
+def usable_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the machine; in cgroup/affinity-limited
+    environments (CI containers, ``taskset``) the scheduler mask is
+    smaller, and sizing a pool past it just adds contention.  Prefer
+    the affinity mask where the platform exposes it.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
 def resolve_jobs(jobs: int | None, total: int | None = None) -> int:
-    """Normalize a ``--jobs`` value; ``None``/0 means all CPUs.
+    """Normalize a ``--jobs`` value; ``None``/0 means all usable CPUs
+    (the scheduler-affinity mask, not the raw machine count).
 
     When ``total`` (the record count) is given and positive, the result
     is clamped so no more workers than records are provisioned — a
@@ -125,7 +158,7 @@ def resolve_jobs(jobs: int | None, total: int | None = None) -> int:
     which could only ever receive empty shards' worth of work).
     """
     if jobs is None or jobs <= 0:
-        jobs = os.cpu_count() or 1
+        jobs = usable_cpus()
     if total is not None and total > 0:
         jobs = min(jobs, total)
     return jobs
@@ -186,18 +219,84 @@ def _worker_schedule() -> tuple[tuple[Lint, ...], RegistryIndex]:
     return _WORKER_SCHEDULE
 
 
+def _worker_init() -> None:
+    """Executor initializer: build the lint schedule before work arrives.
+
+    Under fork this is belt-and-braces — the parent already built
+    :data:`_WORKER_SCHEDULE` and the child inherits it copy-on-write.
+    Under spawn it is the whole point: the snapshot/index build happens
+    once at pool start, not inside the first shard's measured time.
+    """
+    _worker_schedule()
+
+
+def _warm_worker() -> int:
+    """No-op task used by :meth:`LintPool.prewarm` to force worker
+    start-up (process creation + initializer) to completion."""
+    _worker_schedule()
+    return os.getpid()
+
+
+#: Per-worker-process cache of opened substrate readers, keyed by path.
+#: The stat signature detects a replaced file (same path, new contents);
+#: if the path has been unlinked since opening — the engine's spill
+#: files are — the already-open mapping stays valid and is reused.
+_WORKER_STORES: dict[str, tuple[tuple, object]] = {}
+
+
+def _open_worker_store(path: str):
+    from ..corpusstore import CorpusStore
+
+    try:
+        st = os.stat(path)
+        signature = (st.st_ino, st.st_size, st.st_mtime_ns)
+    except OSError:
+        cached = _WORKER_STORES.get(path)
+        if cached is not None:
+            return cached[1]
+        raise
+    cached = _WORKER_STORES.get(path)
+    if cached is not None and cached[0] == signature:
+        return cached[1]
+    if cached is not None:
+        cached[1].close()
+    store = CorpusStore(path)
+    _WORKER_STORES[path] = (signature, store)
+    return store
+
+
+def _shard_records(task: ShardTask):
+    """Yield the shard's ``(der, issued_at)`` pairs from either
+    transport shape."""
+    if task.store_path is not None:
+        store = _open_worker_store(task.store_path)
+        yield from store.iter_shard(task.start, task.stop)
+    else:
+        yield from zip(task.certs_der, task.issued_at)
+
+
 def lint_shard(task: ShardTask) -> ShardResult:
     """Lint one shard; never raises — failures come back structured.
 
     Runs in a worker process (or inline for ``jobs=1``).  Certificates
-    arrive as DER, are re-parsed with the tolerant parser, linted with
-    the worker-cached registry snapshot, and folded into a per-shard
-    :class:`CorpusSummary`.
+    arrive as DER — inline in the task or via the memory-mapped
+    substrate — are re-parsed with the tolerant parser, linted with the
+    worker-cached registry snapshot, and folded into a per-shard
+    :class:`CorpusSummary`.  Timings record both clocks: wall
+    (``perf_counter``) for latency, CPU (``process_time``) for the
+    compute the run actually burned — on an oversubscribed box the two
+    diverge, and summing worker wall across processes would double- to
+    quadruple-count the elapsed time.
     """
     from ..engine.stats import StageTimings
     from ..x509 import Certificate
 
-    result = ShardResult(index=task.index, count=len(task.certs_der))
+    count = (
+        task.stop - task.start
+        if task.store_path is not None
+        else len(task.certs_der)
+    )
+    result = ShardResult(index=task.index, count=count)
     timings = StageTimings()
     result.timings = timings
     reports: list[CertificateReport] | None = (
@@ -205,10 +304,12 @@ def lint_shard(task: ShardTask) -> ShardResult:
     )
     try:
         lints, index = _worker_schedule()
-        for der, issued_at in zip(task.certs_der, task.issued_at):
+        for der, issued_at in _shard_records(task):
             start = _time.perf_counter()
+            cstart = _time.process_time()
             cert = Certificate.from_der(der)
             decoded = _time.perf_counter()
+            cdecoded = _time.process_time()
             report = run_lints(
                 cert,
                 issued_at=issued_at,
@@ -218,13 +319,15 @@ def lint_shard(task: ShardTask) -> ShardResult:
                 index=index,
             )
             linted = _time.perf_counter()
+            clinted = _time.process_time()
             result.summary.add(report)
             if reports is not None:
                 reports.append(report)
             sunk = _time.perf_counter()
-            timings.add("decode", decoded - start, 1)
-            timings.add("lint", linted - decoded, 1)
-            timings.add("sink", sunk - linted, 1)
+            csunk = _time.process_time()
+            timings.add("decode", decoded - start, cdecoded - cstart, 1)
+            timings.add("lint", linted - decoded, clinted - cdecoded, 1)
+            timings.add("sink", sunk - linted, csunk - clinted, 1)
             timings.certs += 1
             timings.bytes += len(der)
     except Exception as exc:
@@ -279,22 +382,49 @@ class LintPool:
     both entry points — :func:`lint_corpus_parallel` (shard summaries)
     and the service batcher (:func:`lint_ders_to_json` strings).
 
-    The executor is created lazily on first submit and workers cache the
-    registry snapshot and its prebuilt index exactly as before
-    (:func:`_worker_schedule`).
+    The pool is *warm*: under fork, the parent resolves the registry
+    snapshot and builds the :class:`RegistryIndex` before the first
+    worker is created, so every child inherits the prebuilt schedule
+    copy-on-write and does zero registry work of its own; under spawn
+    (no inheritance) an executor ``initializer`` rebuilds it at worker
+    start-up instead of inside the first task.  :meth:`prewarm` forces
+    all worker processes into existence eagerly so a latency-sensitive
+    caller (the lint service) pays start-up cost at boot, not on the
+    first request.
     """
 
-    def __init__(self, jobs: int | None = None):
+    def __init__(self, jobs: int | None = None, *, start_method: str | None = None):
         self.jobs = resolve_jobs(jobs)
+        self.start_method = start_method
         self._executor: _cf.ProcessPoolExecutor | None = None
 
     @property
     def executor(self) -> _cf.ProcessPoolExecutor:
         if self._executor is None:
+            ctx = _mp_context(self.start_method)
+            if ctx.get_start_method() == "fork":
+                # Build the schedule in the parent *before* forking so
+                # children inherit it already constructed (COW pages).
+                _worker_schedule()
             self._executor = _cf.ProcessPoolExecutor(
-                max_workers=self.jobs, mp_context=_mp_context()
+                max_workers=self.jobs,
+                mp_context=ctx,
+                initializer=_worker_init,
             )
         return self._executor
+
+    def prewarm(self, timeout: float | None = 60.0) -> int:
+        """Start every worker now and block until all are schedulable.
+
+        Submits one warm task per worker slot and waits for distinct
+        processes to answer.  Returns the number of distinct worker
+        PIDs observed (== ``jobs`` unless the platform coalesced).
+        """
+        futures = [
+            self.executor.submit(_warm_worker) for _ in range(self.jobs)
+        ]
+        pids = {f.result(timeout=timeout) for f in futures}
+        return len(pids)
 
     def submit_shard(self, task: ShardTask) -> "_cf.Future[ShardResult]":
         """Dispatch one corpus shard; the future resolves to its
@@ -365,12 +495,52 @@ def build_shard_tasks(
     return tasks
 
 
-def _mp_context():
-    """Prefer fork (cheap on Linux, registry inherited pre-populated);
-    fall back to spawn where fork is unavailable.  Spawned workers
-    repopulate the registry by importing this module's package."""
+def build_store_shard_tasks(
+    store_path,
+    total: int,
+    shards: int,
+    respect_effective_dates: bool = True,
+    collect_reports: bool = False,
+    optimized: bool = True,
+) -> list[ShardTask]:
+    """Deterministic per-shard tasks over a substrate file.
+
+    Each task is ``(path, start, stop)`` plus flags — O(1) to pickle
+    regardless of shard size.  Shard boundaries are computed by the
+    same :func:`shard_bounds` as the inline path, so summaries merge in
+    the same order and stay byte-identical.
+    """
+    tasks: list[ShardTask] = []
+    for index, (start, stop) in enumerate(shard_bounds(total, shards)):
+        tasks.append(
+            ShardTask(
+                index=index,
+                respect_effective_dates=respect_effective_dates,
+                collect_reports=collect_reports,
+                optimized=optimized,
+                store_path=str(store_path),
+                start=start,
+                stop=stop,
+            )
+        )
+    return tasks
+
+
+def _mp_context(method: str | None = None):
+    """Resolve a multiprocessing context.
+
+    Default prefers fork (cheap on Linux, schedule inherited prebuilt);
+    falls back to spawn where fork is unavailable.  ``method`` forces a
+    specific start method — the fork-vs-spawn equivalence tests use it.
+    """
     methods = _mp.get_all_start_methods()
-    return _mp.get_context("fork" if "fork" in methods else "spawn")
+    if method is None:
+        method = "fork" if "fork" in methods else "spawn"
+    elif method not in methods:
+        raise ValueError(
+            f"start method {method!r} unavailable (have {methods})"
+        )
+    return _mp.get_context(method)
 
 
 def lint_corpus_parallel(

@@ -154,6 +154,13 @@ class LintService:
     async def start(self) -> None:
         if self._pool is None:
             self._pool = LintPool(self.config.jobs)
+            # Warm the pool at boot: fork/spawn plus the registry
+            # snapshot/index build land here, not inside the first
+            # request's latency budget.  Off the event loop — worker
+            # start-up can take hundreds of milliseconds.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._pool.prewarm
+            )
         self.batcher.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
@@ -206,7 +213,10 @@ class LintService:
             except BaseException as exc:
                 outer.set_exception(exc)
                 return
-            self.engine_stats.merge_timings(batch.timings)
+            # worker=True: the batch ran in a pool process, so its wall
+            # column is dropped — only CPU seconds and item counts are
+            # additive across workers into the daemon-lifetime stats.
+            self.engine_stats.merge_timings(batch.timings, worker=True)
             outer.set_result(batch.bodies)
 
         inner.add_done_callback(_unwrap)

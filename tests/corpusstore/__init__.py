@@ -1,0 +1,1 @@
+"""Tests for the memory-mapped corpus substrate (:mod:`repro.corpusstore`)."""

@@ -17,6 +17,7 @@ from repro.engine import PoolExecutor, SerialExecutor, merge_shard_results, run_
 from repro.lint import summary_to_json
 from repro.lint.runner import CorpusSummary
 from repro.lint.parallel import (
+    LintPool,
     ShardError,
     ShardTask,
     build_shard_tasks,
@@ -24,6 +25,7 @@ from repro.lint.parallel import (
     lint_corpus_parallel,
     resolve_jobs,
     shard_bounds,
+    usable_cpus,
 )
 from repro.x509 import (
     CertificateBuilder,
@@ -71,7 +73,16 @@ class TestResolveJobs:
         assert resolve_jobs(8, total=0) == 8
 
     def test_all_cpus_clamped_by_tiny_corpus(self):
-        assert resolve_jobs(None, total=2) == min(os.cpu_count() or 1, 2)
+        assert resolve_jobs(None, total=2) == min(usable_cpus(), 2)
+
+    def test_default_follows_scheduler_affinity_not_machine_count(self):
+        # In cgroup/affinity-limited environments the scheduler mask is
+        # the real parallelism budget, not os.cpu_count().
+        try:
+            affinity = len(os.sched_getaffinity(0))
+        except (AttributeError, OSError):
+            pytest.skip("platform exposes no scheduler affinity mask")
+        assert resolve_jobs(None) == affinity
 
 
 class TestShardBounds:
@@ -140,6 +151,30 @@ class TestJobsExceedRecords:
         # Two records fit one shard, which runs inline.
         assert outcome.jobs == 1
         assert outcome.shards == 1
+
+
+class TestJobsPoolReconcile:
+    """An explicit ``jobs`` alongside a shared pool is reconciled, not
+    silently ignored: clamped to the pool's worker count and always to
+    the record count."""
+
+    def test_explicit_jobs_clamped_to_pool_size(self):
+        records = make_records(6)
+        with LintPool(2) as pool:
+            outcome = lint_corpus_parallel(records, jobs=8, pool=pool, shards=3)
+        assert outcome.jobs == 2
+
+    def test_explicit_smaller_jobs_rides_shared_pool(self):
+        records = make_records(6)
+        with LintPool(2) as pool:
+            outcome = lint_corpus_parallel(records, jobs=1, pool=pool, shards=3)
+        assert outcome.jobs == 1
+
+    def test_pool_jobs_clamped_to_record_count(self):
+        records = make_records(2)
+        with LintPool(4) as pool:
+            outcome = lint_corpus_parallel(records, pool=pool, shards=2)
+        assert outcome.jobs == 2
 
 
 class TestExecutorParity:

@@ -43,43 +43,77 @@ class _Record:
 
 
 class TestStageTimings:
-    def test_add_accumulates(self):
+    def test_add_accumulates_both_clocks(self):
         timings = StageTimings()
-        timings.add("lint", 0.25, 2)
-        timings.add("lint", 0.75, 3)
-        assert timings.seconds["lint"] == 1.0
+        timings.add("lint", 0.25, 0.2, 2)
+        timings.add("lint", 0.75, 0.3, 3)
+        assert timings.wall["lint"] == 1.0
+        assert timings.cpu["lint"] == 0.5
         assert timings.items["lint"] == 5
 
     def test_merge_is_plain_addition(self):
-        a = StageTimings(seconds={"decode": 1.0}, items={"decode": 4}, certs=4, bytes=100)
-        b = StageTimings(seconds={"decode": 0.5, "lint": 2.0}, items={"lint": 4}, certs=4, bytes=60)
+        a = StageTimings(
+            wall={"decode": 1.0}, cpu={"decode": 0.9},
+            items={"decode": 4}, certs=4, bytes=100,
+        )
+        b = StageTimings(
+            wall={"decode": 0.5, "lint": 2.0}, cpu={"lint": 1.5},
+            items={"lint": 4}, certs=4, bytes=60,
+        )
         a.merge(b)
-        assert a.seconds == {"decode": 1.5, "lint": 2.0}
+        assert a.wall == {"decode": 1.5, "lint": 2.0}
+        assert a.cpu == {"decode": 0.9, "lint": 1.5}
         assert a.items == {"decode": 4, "lint": 4}
         assert a.certs == 8
         assert a.bytes == 160
+
+    def test_worker_merge_drops_wall_keeps_cpu(self):
+        # N workers' wall clocks overlap; summing them would report up
+        # to N× the elapsed time, so distributed merges keep only the
+        # additive columns (cpu, items, totals).
+        a = StageTimings(wall={"lint": 1.0}, cpu={"lint": 1.0})
+        worker = StageTimings(
+            wall={"lint": 9.0}, cpu={"lint": 2.0}, items={"lint": 5}, certs=5
+        )
+        a.merge(worker, worker=True)
+        assert a.wall == {"lint": 1.0}
+        assert a.cpu == {"lint": 3.0}
+        assert a.items == {"lint": 5}
+        assert a.certs == 5
 
     def test_time_context_manager_records(self):
         timings = StageTimings()
         with timings.time("ingest", items=3):
             pass
-        assert timings.seconds["ingest"] >= 0.0
+        assert timings.wall["ingest"] >= 0.0
+        assert timings.cpu["ingest"] >= 0.0
         assert timings.items["ingest"] == 3
 
 
 class TestEngineStatsRendering:
     def test_to_dict_canonical_order_and_shape(self):
         stats = EngineStats()
-        stats.add("sink", 0.1, 1)
-        stats.add("ingest", 0.2, 1)
-        stats.add("lint", 0.3, 1)
-        stats.add("decode", 0.4, 1)
+        stats.add("sink", 0.1, items=1)
+        stats.add("ingest", 0.2, items=1)
+        stats.add("lint", 0.3, 0.28, items=1)
+        stats.add("decode", 0.4, items=1)
         payload = stats.to_dict()
         assert list(payload["stages"]) == ["ingest", "decode", "lint", "sink"]
-        assert payload["stages"]["lint"] == {"seconds": 0.3, "items": 1}
+        assert payload["stages"]["lint"] == {
+            "wall_seconds": 0.3,
+            "cpu_seconds": 0.28,
+            "items": 1,
+        }
         assert payload["certs"] == 0
         assert "cache" not in payload
         assert "shards" not in payload
+
+    def test_execute_stage_sorts_after_ingest(self):
+        stats = EngineStats()
+        stats.add("sink", 0.1)
+        stats.add("execute", 0.5)
+        stats.add("ingest", 0.2)
+        assert list(stats.to_dict()["stages"]) == ["ingest", "execute", "sink"]
 
     def test_cache_and_shard_gauges_appear_when_recorded(self):
         stats = EngineStats()
@@ -92,19 +126,29 @@ class TestEngineStatsRendering:
 
     def test_render_lines_header_and_totals(self):
         stats = EngineStats()
-        stats.add("lint", 1.5, 10)
+        stats.add("lint", 1.5, 1.4, items=10)
         stats.count_certs(10, 4200)
         lines = stats.render_lines()
         assert lines[0] == "engine stats:"
-        assert any("lint:" in line for line in lines)
+        assert any("lint:" in line and "wall" in line and "cpu" in line for line in lines)
         assert any("certs: 10" in line and "bytes: 4200" in line for line in lines)
 
     def test_merge_timings_folds_worker_record(self):
         stats = EngineStats()
-        worker = StageTimings(seconds={"lint": 2.0}, items={"lint": 7}, certs=7, bytes=70)
+        worker = StageTimings(
+            wall={"lint": 2.0}, cpu={"lint": 1.8},
+            items={"lint": 7}, certs=7, bytes=70,
+        )
         stats.merge_timings(worker)
-        assert stats.timings.seconds["lint"] == 2.0
+        assert stats.timings.wall["lint"] == 2.0
         assert stats.timings.certs == 7
+
+    def test_merge_timings_worker_flag_drops_wall(self):
+        stats = EngineStats()
+        worker = StageTimings(wall={"lint": 2.0}, cpu={"lint": 1.8})
+        stats.merge_timings(worker, worker=True)
+        assert "lint" not in stats.timings.wall
+        assert stats.timings.cpu["lint"] == 1.8
 
 
 class TestStatsThreadedThroughRuns:
@@ -123,12 +167,36 @@ class TestStatsThreadedThroughRuns:
         ]
         stats = EngineStats()
         run_corpus(records, jobs=1, stats=stats)
-        seconds = stats.stage_seconds()
+        seconds = stats.stage_wall_seconds()
         assert set(seconds) == {"ingest", "decode", "lint", "sink"}
         assert stats.timings.certs == 4
         assert stats.timings.items["lint"] == 4
         assert sum(stats.shard_sizes) == 4
         assert stats.jobs == 1
+
+    def test_pool_run_splits_wall_and_cpu(self):
+        records = [
+            _Record(
+                CertificateBuilder()
+                .subject_cn(f"pool-{i}.example.com")
+                .not_before(dt.datetime(2024, 1, 1))
+                .add_extension(
+                    subject_alt_name(GeneralName.dns(f"pool-{i}.example.com"))
+                )
+                .sign(KEY)
+            )
+            for i in range(4)
+        ]
+        stats = EngineStats()
+        run_corpus(records, jobs=2, shards=2, stats=stats)
+        wall = stats.stage_wall_seconds()
+        cpu = stats.stage_cpu_seconds()
+        # Parent wall covers ingest/execute/sink; the workers' own wall
+        # never sums into it — their contribution is the cpu column.
+        assert "execute" in wall
+        assert "decode" not in wall and "lint" not in wall
+        assert {"decode", "lint", "sink"} <= set(cpu)
+        assert stats.timings.certs == 4
 
 
 class TestCliStatsFlag:
