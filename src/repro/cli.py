@@ -223,6 +223,55 @@ def _cmd_differential(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .engine import EngineStats
+    from .fuzz import FuzzConfig, replay_witnesses, run_fuzz_campaign
+
+    if args.replay:
+        if not args.witness_dir:
+            print("error: --replay requires --witness-dir", file=sys.stderr)
+            return 2
+        results = replay_witnesses(args.witness_dir)
+        failures = [r for r in results if not r.ok]
+        for result in results:
+            status = "ok" if result.ok else "FAIL"
+            print(f"{result.witness.filename}: {status}")
+            for problem in result.problems:
+                print(f"  {problem}", file=sys.stderr)
+        print(f"replayed {len(results)} witness(es), {len(failures)} failure(s)")
+        return 1 if failures else 0
+
+    config = FuzzConfig(
+        seed=args.seed,
+        budget=args.budget,
+        jobs=args.jobs,
+        batch=args.batch,
+        max_ops=args.max_ops,
+        witness_dir=args.witness_dir,
+        max_witnesses=args.max_witnesses,
+    )
+    stats = EngineStats()
+    result = run_fuzz_campaign(config, stats=stats)
+    # Everything below is deterministic for a (seed, budget, max-ops)
+    # triple — identical at every --jobs value, like `repro corpus`.
+    print(f"campaign seed={config.seed} budget={config.budget} "
+          f"max-ops={config.max_ops}")
+    print(f"mutants evaluated: {result.mutants}")
+    print(f"baseline cells (Tables 4/5 + seeds): {result.baseline_cells}")
+    print(f"novel cells: {result.novel_cells} "
+          f"({result.novel_per_10k:.1f} per 10k mutants)")
+    print(f"novel disagreement cells: {result.novel_disagreements}")
+    if config.witness_dir is not None:
+        print(f"witnesses written: {len(result.witness_paths)} "
+              f"-> {config.witness_dir}")
+    else:
+        print(f"witnesses minimized: {len(result.witnesses)} (not written; "
+              "pass --witness-dir to persist)")
+    if args.stats:
+        _print_engine_stats(stats)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the repro CLI."""
     parser = argparse.ArgumentParser(
@@ -346,6 +395,54 @@ def build_parser() -> argparse.ArgumentParser:
 
     diff = sub.add_parser("differential", help="derive the parser matrices")
     diff.set_defaults(func=_cmd_differential)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="run a coverage-guided differential fuzzing campaign "
+        "over the nine parser models",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=2025, help="campaign RNG seed"
+    )
+    fuzz.add_argument(
+        "--budget", type=int, default=10_000, help="mutants to evaluate"
+    )
+    fuzz.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="evaluation worker processes (default: inline; witness "
+        "corpus is byte-identical for every value)",
+    )
+    fuzz.add_argument(
+        "--batch", type=int, default=250, help="mutants per evaluation batch"
+    )
+    fuzz.add_argument(
+        "--max-ops", type=int, default=3,
+        help="maximum stacked mutations per mutant",
+    )
+    fuzz.add_argument(
+        "--witness-dir",
+        default=None,
+        help="directory for minimized witness files "
+        "(also the --replay source)",
+    )
+    fuzz.add_argument(
+        "--max-witnesses", type=int, default=None,
+        help="cap on minimized witnesses per campaign",
+    )
+    fuzz.add_argument(
+        "--replay",
+        action="store_true",
+        help="replay the committed witness corpus instead of fuzzing; "
+        "exits 1 if any recorded disagreement fails to reproduce",
+    )
+    fuzz.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the campaign's per-stage timing breakdown on stderr",
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
     return parser
 
 

@@ -1,0 +1,92 @@
+"""Delta-debug minimization of interesting mutants.
+
+An interesting mutant is a (seed spec, mutation list) pair whose
+evaluation landed on a novel coverage cell.  The minimizer shrinks it
+to a minimal reproducer that still occupies the *exact same* cell —
+both halves of the key: the scenario fingerprint (so the character
+classes survive) and the nine-library outcome vector (so the recorded
+disagreement survives).  Two greedy fixpoint passes:
+
+1. **Mutation dropping** — re-apply every subset obtained by removing
+   one mutation at a time (right to left, repeated until no single
+   removal preserves the cell).  Mutations are concrete records
+   (:class:`~repro.fuzz.mutators.Mutation`), so re-application never
+   consults an RNG.
+2. **Value shrinking** — classic ddmin over the final content octets:
+   remove chunks of halving sizes while the cell is preserved, repeated
+   to fixpoint.
+
+Both passes are deterministic and run to fixpoint, which makes
+minimization idempotent: minimizing a minimized witness returns it
+unchanged (the property the witness-corpus tests pin down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from .mutators import Mutation, MutantSpec, apply_mutations
+from .oracle import Observation, evaluate
+
+
+def _shrink_value(spec: MutantSpec, target) -> bytes:
+    """ddmin the content octets while preserving the coverage cell."""
+    value = spec.value
+
+    def preserved(candidate: bytes) -> bool:
+        return evaluate(replace(spec, value=candidate)).key == target
+
+    changed = True
+    while changed:
+        changed = False
+        chunk = max(len(value) // 2, 1)
+        while chunk >= 1:
+            index = 0
+            while index < len(value):
+                candidate = value[:index] + value[index + chunk :]
+                if len(candidate) < len(value) and preserved(candidate):
+                    value = candidate
+                    changed = True
+                else:
+                    index += chunk
+            if chunk == 1:
+                break
+            chunk //= 2
+    return value
+
+
+def minimize(
+    seed: MutantSpec, mutations: Sequence[Mutation]
+) -> tuple[MutantSpec, Observation]:
+    """Shrink a mutant to a minimal spec on the same coverage cell.
+
+    Returns the minimized spec and its (re-verified) observation; the
+    observation's key always equals the parent mutant's key.
+    """
+    target = evaluate(apply_mutations(seed, mutations)).key
+    ops = list(mutations)
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(ops) - 1, -1, -1):
+            trial = ops[:index] + ops[index + 1 :]
+            if evaluate(apply_mutations(seed, trial)).key == target:
+                ops = trial
+                changed = True
+    spec = apply_mutations(seed, ops)
+    spec = replace(spec, value=_shrink_value(spec, target))
+    observation = evaluate(spec)
+    if observation.key != target:  # pragma: no cover - defensive
+        raise AssertionError("minimization changed the coverage cell")
+    return spec, observation
+
+
+def minimize_spec(spec: MutantSpec) -> tuple[MutantSpec, Observation]:
+    """Minimize a bare spec (no mutation history): value shrinking only.
+
+    This is what re-minimizing a stored witness runs; because
+    :func:`minimize` already shrank the value to fixpoint, applying it
+    again is the identity — the idempotence contract.
+    """
+    return minimize(spec, ())

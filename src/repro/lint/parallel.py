@@ -453,6 +453,16 @@ class LintPool:
             lint_ders_timed, ders, respect_effective_dates
         )
 
+    def submit_fuzz(self, specs: tuple):
+        """Dispatch one fuzz mutant batch; the future resolves to
+        ``(observations, StageTimings)`` from
+        :func:`repro.fuzz.oracle.evaluate_batch_timed` — the campaign
+        driver folds results in submission order to stay deterministic
+        across ``--jobs`` values."""
+        from ..fuzz.oracle import evaluate_batch_timed
+
+        return self.executor.submit(evaluate_batch_timed, specs)
+
     def shutdown(self, wait: bool = True) -> None:
         if self._executor is not None:
             self._executor.shutdown(wait=wait, cancel_futures=not wait)

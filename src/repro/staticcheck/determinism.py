@@ -13,6 +13,14 @@ flags, inside the lint definition modules:
   ``from random import ...`` (which hides later bare calls);
 * ``os.urandom`` and ``uuid.uuid1``/``uuid.uuid4``;
 * any use of the ``locale`` module.
+
+The fuzzing subsystem (:mod:`repro.fuzz`) is scanned with
+``allow_seeded_random=True``: constructing an *explicitly seeded*
+``random.Random(seed)`` is that package's replayability contract, so
+the seeded constructor is exempt there — every other randomness source
+(bare ``random.random()``, module-level helpers, ``secrets``, a
+zero-argument ``random.Random()``) stays flagged, and lint bodies keep
+the strict rule.
 """
 
 from __future__ import annotations
@@ -42,7 +50,12 @@ def _attr_chain(node: ast.expr) -> list[str]:
     return chain
 
 
-def _hazard_of(call: ast.Call) -> str | None:
+def _is_seeded_random(call: ast.Call, chain: list[str]) -> bool:
+    """``random.Random(<seed>)`` — an explicitly seeded generator."""
+    return chain == ["random", "Random"] and bool(call.args or call.keywords)
+
+
+def _hazard_of(call: ast.Call, allow_seeded_random: bool = False) -> str | None:
     chain = _attr_chain(call.func)
     if len(chain) < 2:
         return None
@@ -52,6 +65,8 @@ def _hazard_of(call: ast.Call) -> str | None:
     if leaf in _NOW_FNS and (set(chain) & _DATETIME_ROOTS):
         return f"{'.'.join(chain)}() reads the current clock"
     if root in _RANDOM_MODULES:
+        if allow_seeded_random and _is_seeded_random(call, chain):
+            return None
         return f"{'.'.join(chain)}() is nondeterministic ({root} module)"
     if root == "os" and leaf == "urandom":
         return "os.urandom() is nondeterministic"
@@ -60,8 +75,15 @@ def _hazard_of(call: ast.Call) -> str | None:
     return None
 
 
-def check_determinism(paths, index: SourceIndex) -> list[Finding]:
-    """Flag clock/randomness/locale use inside the lint modules."""
+def check_determinism(
+    paths, index: SourceIndex, *, allow_seeded_random: bool = False
+) -> list[Finding]:
+    """Flag clock/randomness/locale use inside the lint modules.
+
+    ``allow_seeded_random=True`` exempts explicitly seeded
+    ``random.Random(seed)`` constructors (the repro.fuzz scope); the
+    ``from random import ...`` ban and every other hazard still apply.
+    """
     findings: list[Finding] = []
     for path in paths:
         tree = index.module(str(path))
@@ -85,7 +107,7 @@ def check_determinism(paths, index: SourceIndex) -> list[Finding]:
                         )
                     )
             elif isinstance(node, ast.Call):
-                hazard = _hazard_of(node)
+                hazard = _hazard_of(node, allow_seeded_random)
                 if hazard is not None:
                     findings.append(
                         Finding(

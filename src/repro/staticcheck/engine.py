@@ -55,11 +55,18 @@ _LINT_DEF_MODULES = (
 )
 
 #: Packages whose parse/service paths the hygiene checker covers.
-_HYGIENE_PACKAGES = ("asn1", "x509", "uni", "lint", "service", "engine")
+_HYGIENE_PACKAGES = ("asn1", "x509", "uni", "lint", "service", "engine", "fuzz")
 
 
 def lint_module_paths(pkg_root: Path = PKG_ROOT) -> list[Path]:
     return [pkg_root / rel for rel in _LINT_DEF_MODULES]
+
+
+def fuzz_module_paths(pkg_root: Path = PKG_ROOT) -> list[Path]:
+    """The repro.fuzz modules — determinism-scanned with the seeded-
+    ``random.Random`` allowance (campaign replayability depends on it)."""
+    root = pkg_root / "fuzz"
+    return sorted(root.rglob("*.py")) if root.is_dir() else []
 
 
 def hygiene_paths(pkg_root: Path = PKG_ROOT) -> list[Path]:
@@ -112,6 +119,7 @@ def run_checkers(
     *,
     lint_paths=(),
     hygiene_files=(),
+    fuzz_files=(),
     resolve_rule=None,
     checkers=None,
 ) -> list[Finding]:
@@ -135,6 +143,9 @@ def run_checkers(
         findings.extend(check_exception_hygiene(hygiene_files, index))
     if "determinism" in selected:
         findings.extend(check_determinism(lint_paths, index))
+        findings.extend(
+            check_determinism(fuzz_files, index, allow_seeded_random=True)
+        )
     return sorted(findings, key=sort_key)
 
 
@@ -154,6 +165,7 @@ def run_staticcheck(
         index,
         lint_paths=lint_module_paths(pkg_root),
         hygiene_files=hygiene_paths(pkg_root),
+        fuzz_files=fuzz_module_paths(pkg_root),
         resolve_rule=rules_for_lint,
         checkers=checkers,
     )

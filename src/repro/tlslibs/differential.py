@@ -99,6 +99,12 @@ _ILLEGAL_DN_SAMPLES = {
     ),
 }
 
+#: Public aliases for the Table 5 probe inputs — the fuzzing oracle
+#: seeds its baseline coverage map from exactly these octets so that
+#: "novel" means "absent from the paper's hand-built matrices".
+TABLE5_DN_PROBES = _ILLEGAL_DN_SAMPLES
+TABLE5_GN_PROBE = b"evil\x01name.com"
+
 
 def _incompatible_decode(profile: ParserProfile, tag: int) -> bool:
     """Appendix E exclusion (iv): incompatible decoding misidentifies the
@@ -132,7 +138,7 @@ def _check_illegal_gn(profile: ParserProfile) -> str:
         return Violation.NOT_TESTED
     # Control character inside a DNSName: valid UTF-8, illegal per the
     # DNS charset, so charset-checking parsers reject it.
-    outcome = profile.decode_gn(b"evil\x01name.com")
+    outcome = profile.decode_gn(TABLE5_GN_PROBE)
     if not outcome.ok:
         return Violation.NONE
     return Violation.UNEXPLOITED

@@ -137,8 +137,14 @@ class GeneralName:
             )
         # The IA5String-typed alternatives are IMPLICIT primitives: the
         # context tag replaces the string tag, so ``spec`` only governs
-        # how the *content octets* are produced.
-        content = self.spec.encode(self.value, strict=strict)
+        # how the *content octets* are produced.  When ``raw`` is set it
+        # wins, so arbitrary (even undecodable) octets survive a
+        # parse → encode round trip — the fuzz witness corpus relies on
+        # this exactness.
+        if self.raw is not None and self.kind in IA5_KINDS:
+            content = self.raw
+        else:
+            content = self.spec.encode(self.value, strict=strict)
         return Element.primitive(Tag.context(tag_number), content)
 
     @classmethod

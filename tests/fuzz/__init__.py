@@ -1,0 +1,1 @@
+"""Tests for the repro.fuzz subsystem (and migrated robustness fuzz)."""

@@ -2,9 +2,12 @@
 errors, never crash with unexpected exceptions.
 
 Mirrors the mutation-based robustness testing of the paper's related
-work (SBDT-style ASN.1 tree mutation): random byte-level corruption of
-valid certificates must leave every public entry point either working
-or raising a library exception.
+work (SBDT-style ASN.1 tree mutation): byte-level corruption of valid
+certificates must leave every public entry point either working or
+raising a library exception.  The corruption strategies themselves are
+the :mod:`repro.fuzz.mutators` byte primitives — the same operators the
+campaign driver applies — so the robustness suite and the campaign
+share one corruption vocabulary instead of maintaining two.
 """
 
 import datetime as dt
@@ -12,10 +15,17 @@ import datetime as dt
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.asn1 import ASN1Error, DERDecodeError, parse
-from repro.uni import IDNAError, PunycodeError, punycode
+from repro.asn1 import ASN1Error, parse
+from repro.fuzz.mutators import byte_delete, byte_flip, byte_insert, truncate
+from repro.uni import PunycodeError, punycode
 from repro.uni.idna import alabel_violations
-from repro.x509 import Certificate, CertificateBuilder, GeneralName, generate_keypair, subject_alt_name
+from repro.x509 import (
+    Certificate,
+    CertificateBuilder,
+    GeneralName,
+    generate_keypair,
+    subject_alt_name,
+)
 
 KEY = generate_keypair(seed=131)
 
@@ -33,6 +43,21 @@ def sample_der() -> bytes:
 
 BASE_DER = sample_der()
 
+#: Exceptions the parse entry points are allowed to raise on garbage.
+TYPED_ERRORS = (ASN1Error, OverflowError, ValueError)
+
+
+def _parse_survives(der: bytes) -> None:
+    """Parse must work or fail typed; accessors must not crash either."""
+    try:
+        cert = Certificate.from_der(der, strict=False)
+    except TYPED_ERRORS:
+        return
+    _ = cert.subject_common_names
+    _ = cert.san_dns_names
+    _ = cert.dns_names
+    _ = cert.is_precertificate
+
 
 class TestDERFuzz:
     @given(st.binary(min_size=0, max_size=200))
@@ -49,25 +74,28 @@ class TestDERFuzz:
     )
     @settings(max_examples=300)
     def test_single_byte_corruption(self, index, value):
-        mutated = bytearray(BASE_DER)
-        mutated[index] = value
-        try:
-            cert = Certificate.from_der(bytes(mutated), strict=False)
-            # If it parsed, accessors must not crash either.
-            _ = cert.subject_common_names
-            _ = cert.san_dns_names
-            _ = cert.dns_names
-            _ = cert.is_precertificate
-        except (ASN1Error, OverflowError, ValueError):
-            pass
+        _parse_survives(byte_flip(BASE_DER, index, value))
+
+    @given(
+        st.integers(min_value=0, max_value=len(BASE_DER)),
+        st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=150)
+    def test_byte_insertion(self, index, value):
+        _parse_survives(byte_insert(BASE_DER, index, value))
+
+    @given(st.integers(min_value=0, max_value=len(BASE_DER) - 1))
+    @settings(max_examples=150)
+    def test_byte_deletion(self, index):
+        _parse_survives(byte_delete(BASE_DER, index))
 
     @given(st.integers(min_value=1, max_value=len(BASE_DER) - 1))
     @settings(max_examples=100)
     def test_truncation(self, cut):
         # Any truncation breaks the outer TLV length: typed error only.
         try:
-            Certificate.from_der(BASE_DER[:cut], strict=False)
-        except (ASN1Error, ValueError, OverflowError):
+            Certificate.from_der(truncate(BASE_DER, cut), strict=False)
+        except TYPED_ERRORS:
             return
         raise AssertionError("truncated parse unexpectedly succeeded")
 
@@ -81,11 +109,11 @@ class TestLintFuzz:
     def test_linting_mutated_certs_never_crashes(self, index, value):
         from repro.lint import run_lints
 
-        mutated = bytearray(BASE_DER)
-        mutated[index] = value
         try:
-            cert = Certificate.from_der(bytes(mutated), strict=False)
-        except (ASN1Error, OverflowError, ValueError):
+            cert = Certificate.from_der(
+                byte_flip(BASE_DER, index, value), strict=False
+            )
+        except TYPED_ERRORS:
             return
         report = run_lints(cert)
         assert report is not None

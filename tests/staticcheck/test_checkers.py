@@ -108,6 +108,43 @@ class TestFingerprintStability:
             finding.checker, finding.path, finding.anchor, finding.message
         )
 
+    def test_seeded_random_allowance(self, index, tmp_path):
+        """The repro.fuzz scope permits random.Random(seed) — only that."""
+        module = tmp_path / "fuzzish.py"
+        module.write_text(
+            "import random\n"
+            "def campaign(seed):\n"
+            "    rng = random.Random(seed)\n"
+            "    kw = random.Random(x=seed)\n"
+            "    bad = random.Random()\n"
+            "    worse = random.random()\n"
+            "    return rng, kw, bad, worse\n",
+            encoding="utf-8",
+        )
+        scoped_index = SourceIndex(repo_root=tmp_path)
+        # Strict mode (lint bodies): all four calls are hazards.
+        strict = check_determinism([module], scoped_index)
+        assert len(strict) == 4
+        # Fuzz mode: the two seeded constructors are exempt; the
+        # zero-argument constructor and the module-level helper stay.
+        relaxed = check_determinism(
+            [module], scoped_index, allow_seeded_random=True
+        )
+        assert len(relaxed) == 2
+        assert all("nondeterministic" in f.message for f in relaxed)
+        assert sorted(f.line for f in relaxed) == [5, 6]
+
+    def test_seeded_random_allowance_keeps_import_ban(self, index, tmp_path):
+        """`from random import Random` stays banned even in fuzz scope."""
+        module = tmp_path / "fuzzish_import.py"
+        module.write_text("from random import Random\n", encoding="utf-8")
+        scoped_index = SourceIndex(repo_root=tmp_path)
+        findings = check_determinism(
+            [module], scoped_index, allow_seeded_random=True
+        )
+        assert len(findings) == 1
+        assert "hides nondeterministic" in findings[0].message
+
     def test_fingerprints_survive_line_drift(self, index, tmp_path):
         """Prepending lines moves every lineno but no fingerprint."""
         drifted = tmp_path / "bad_lints.py"

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.x509",
     "repro.lint",
     "repro.tlslibs",
+    "repro.fuzz",
     "repro.testgen",
     "repro.tls",
     "repro.ct",
