@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""Regenerate src/repro/uni/intervals.py from the authoritative charsets.
+
+Usage::
+
+    PYTHONPATH=src python scripts/regen_intervals.py
+
+Rewrites the committed interval tables used by the compiled lint
+kernels.  Run after changing CONTROL_CHARS, VISIBLE_ASCII, the
+PrintableString charset, BIDI_CONTROLS, INVISIBLE_CHARACTERS, or
+CONFUSABLE_MAP; the test suite fails when the committed file drifts.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.uni.intervals_gen import write_module  # noqa: E402
+
+
+def main() -> None:
+    """Regenerate the committed table module and report where it went."""
+    target = write_module()
+    print(f"wrote {target}")
+
+
+if __name__ == "__main__":
+    main()

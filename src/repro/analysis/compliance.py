@@ -16,7 +16,7 @@ from ..lint.framework import LintStatus
 
 
 def lint_corpus(
-    corpus: Corpus, jobs: int | None = 1, stats=None
+    corpus: Corpus, jobs: int | None = 1, stats=None, compiled: bool = True
 ) -> list[CertificateReport]:
     """Run the full lint registry over every corpus record.
 
@@ -26,11 +26,14 @@ def lint_corpus(
     ``jobs > 1`` fans out over worker processes.  Reports come back in
     corpus order either way and are identical across job counts.  Pass
     ``stats`` (an :class:`repro.engine.stats.EngineStats`) to observe
-    the run's per-stage breakdown.
+    the run's per-stage breakdown, and ``compiled=False`` (the CLI's
+    ``--no-compile``) to pin the interpreted dispatch path.
     """
     from ..engine.pipeline import Engine
 
-    outcome = Engine(stats).run_corpus(corpus, jobs, collect_reports=True)
+    outcome = Engine(stats).run_corpus(
+        corpus, jobs, collect_reports=True, compiled=compiled
+    )
     return outcome.reports or []
 
 

@@ -36,6 +36,7 @@ def _lint_one_file(path: str, args: argparse.Namespace, engine) -> int:
         source.data,
         origin=path,
         respect_effective_dates=not args.ignore_effective_dates,
+        compiled=not args.no_compile,
     )
     if not item.ok:
         message = item.error
@@ -130,7 +131,9 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     # byte-identical for every --jobs value (tested; do not print the
     # job count itself here, or that guarantee breaks across machines).
     stats = EngineStats()
-    reports = lint_corpus(corpus, jobs=args.jobs, stats=stats)
+    reports = lint_corpus(
+        corpus, jobs=args.jobs, stats=stats, compiled=not args.no_compile
+    )
     table = build_table1(corpus, reports)
     print(f"noncompliant: {table.nc_certs} ({table.nc_rate:.2%})")
     print(f"trusted share: {table.trusted_share:.1%}")
@@ -159,6 +162,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         batch_delay=args.batch_delay_ms / 1e3,
         request_timeout=args.timeout,
+        compile=not args.no_compile,
     )
     try:
         asyncio.run(run_server(config, announce=print))
@@ -295,6 +299,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the engine's per-stage timing breakdown on stderr",
     )
+    lint.add_argument(
+        "--no-compile",
+        action="store_true",
+        help="pin the interpreted lint dispatch (skip the compiled "
+        "char-class kernels; output is identical either way)",
+    )
     lint.set_defaults(func=_cmd_lint)
 
     rules = sub.add_parser("rules", help="list the 95 constraint rules")
@@ -324,6 +334,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print the engine's per-stage timing breakdown on stderr",
+    )
+    corpus.add_argument(
+        "--no-compile",
+        action="store_true",
+        help="pin the interpreted lint dispatch (skip the compiled "
+        "char-class kernels; output is identical either way)",
     )
     corpus.set_defaults(func=_cmd_corpus)
 
@@ -359,6 +375,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--timeout", type=float, default=30.0,
         help="per-request lint deadline in seconds (504 past it)",
+    )
+    serve.add_argument(
+        "--no-compile",
+        action="store_true",
+        help="pin the interpreted lint dispatch for every request",
     )
     serve.set_defaults(func=_cmd_serve)
 

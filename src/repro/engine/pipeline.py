@@ -111,17 +111,34 @@ class Engine:
             self.stats.count_certs(1, len(item.der))
         return item
 
+    def warm_compiled_plan(self, compiled: bool = True) -> None:
+        """Compile stage: build the default dispatch plan, timed.
+
+        A no-op when the plan is already built (or compilation is off),
+        so the ``compile`` row of ``--stats``/``/metrics`` reports the
+        one-time classification cost and never recurs per certificate.
+        """
+        if compiled:
+            from ..lint.compiled import warm_default_plan
+
+            warm_default_plan(self.stats)
+
     def lint_item(
-        self, item: EngineItem, respect_effective_dates: bool = True
+        self,
+        item: EngineItem,
+        respect_effective_dates: bool = True,
+        compiled: bool = True,
     ) -> EngineItem:
         """Lint stage: run the full registry over a decoded certificate."""
         if not item.ok:
             return item
+        self.warm_compiled_plan(compiled)
         with self.stats.time("lint", items=1):
             item.report = run_lints(
                 item.cert,
                 issued_at=item.issued_at,
                 respect_effective_dates=respect_effective_dates,
+                compiled=compiled,
             )
         return item
 
@@ -130,11 +147,12 @@ class Engine:
         data: bytes,
         origin: str = "<bytes>",
         respect_effective_dates: bool = True,
+        compiled: bool = True,
     ) -> EngineItem:
         """Ingest → decode → lint one input; failures stay on the item."""
         item = self.ingest_bytes(data, origin)
         self.decode_item(item)
-        return self.lint_item(item, respect_effective_dates)
+        return self.lint_item(item, respect_effective_dates, compiled=compiled)
 
     def render_json(self, item: EngineItem) -> str:
         """Sink stage: the CLI-identical JSON document for one item."""
@@ -157,6 +175,7 @@ class Engine:
         respect_effective_dates: bool = True,
         collect_reports: bool = False,
         optimized: bool = True,
+        compiled: bool = True,
         pool=None,
         executor=None,
     ) -> ParallelLintOutcome:
@@ -204,10 +223,17 @@ class Engine:
             else:
                 executor = PoolExecutor(jobs, pool=pool)
         distributed = getattr(executor, "distributed", True)
+        # Compile stage: build the dispatch plan in the parent before
+        # any work is dispatched — serial runs use it directly, pool
+        # runs inherit it copy-on-write under fork.  Timed so the
+        # one-time classification cost shows as its own stage.
+        if optimized and compiled:
+            self.warm_compiled_plan()
         task_kwargs = dict(
             respect_effective_dates=respect_effective_dates,
             collect_reports=collect_reports,
             optimized=optimized,
+            compiled=compiled,
         )
         spill_path = None
         try:

@@ -28,9 +28,11 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 #: Canonical stage order for rendering (unknown stages sort after).
+#: ``compile`` is the one-time lint-registry classification
+#: (:mod:`repro.lint.compiled`), recorded where it runs — the parent.
 #: ``execute`` is the parent-side wall-clock of a distributed pool run,
 #: recorded between ``ingest`` and the worker-side stages it spans.
-STAGE_ORDER = ("ingest", "execute", "decode", "lint", "sink")
+STAGE_ORDER = ("ingest", "compile", "execute", "decode", "lint", "sink")
 
 
 def _stage_sort_key(name: str) -> tuple[int, str]:

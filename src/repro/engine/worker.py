@@ -31,7 +31,9 @@ class TimedBatch:
 
 
 def lint_ders_timed(
-    ders: tuple[bytes, ...], respect_effective_dates: bool = True
+    ders: tuple[bytes, ...],
+    respect_effective_dates: bool = True,
+    compiled: bool = True,
 ) -> TimedBatch:
     """Decode, lint, and render a DER batch with per-stage timers.
 
@@ -59,6 +61,7 @@ def lint_ders_timed(
             lints=lints,
             respect_effective_dates=respect_effective_dates,
             index=index,
+            compiled=compiled,
         )
         linted = time.perf_counter()
         clinted = time.process_time()

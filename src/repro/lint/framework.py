@@ -278,6 +278,22 @@ class RegistryIndex:
         self.entries = tuple((lint, lint.families) for lint in self.lints)
         self._dates_sorted = sorted({l.metadata.effective_date for l in self.lints})
         self._not_effective_memo: dict[int, frozenset] = {}
+        self._compiled_plan = None
+
+    def compiled_plan(self):
+        """The memoized :class:`repro.lint.compiled.CompiledPlan`.
+
+        Built lazily on first use (engine/pool warm-up calls it eagerly
+        so workers inherit the plan pre-fork) and cached for the index's
+        lifetime — the schedule is immutable, so the classification
+        never changes.
+        """
+        plan = self._compiled_plan
+        if plan is None:
+            from .compiled import compile_plan
+
+            plan = self._compiled_plan = compile_plan(self.lints)
+        return plan
 
     def not_effective_names(self, when: _dt.datetime) -> frozenset:
         """Names of lints whose effective date is after ``when``.

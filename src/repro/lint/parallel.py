@@ -99,6 +99,10 @@ class ShardTask:
     #: False runs the legacy per-lint loop with caching disabled — the
     #: reference path the equivalence tests and benchmarks compare with.
     optimized: bool = True
+    #: False pins the interpreted (memoized, uncompiled) dispatch — the
+    #: ``--no-compile`` escape hatch and the compiled-equivalence
+    #: reference.
+    compiled: bool = True
     #: Substrate transport: path to a corpus-store file plus the shard's
     #: half-open record range within it.
     store_path: str | None = None
@@ -211,11 +215,18 @@ def default_shard_count(total: int, jobs: int) -> int:
 _WORKER_SCHEDULE: tuple[tuple[Lint, ...], RegistryIndex] | None = None
 
 
-def _worker_schedule() -> tuple[tuple[Lint, ...], RegistryIndex]:
+def _worker_schedule(compiled: bool = True) -> tuple[tuple[Lint, ...], RegistryIndex]:
     global _WORKER_SCHEDULE
     if _WORKER_SCHEDULE is None:
         lints = REGISTRY.snapshot()
         _WORKER_SCHEDULE = (lints, index_for(lints))
+    if compiled:
+        # Build the compiled dispatch plan eagerly: pre-fork it lands in
+        # COW-shared pages; under spawn the initializer pays it once at
+        # worker start-up instead of inside the first shard.  Skipped
+        # for uncompiled runs so the reference legs never build (or get
+        # charged for) a plan they will not dispatch through.
+        _WORKER_SCHEDULE[1].compiled_plan()
     return _WORKER_SCHEDULE
 
 
@@ -303,7 +314,7 @@ def lint_shard(task: ShardTask) -> ShardResult:
         [] if task.collect_reports else None
     )
     try:
-        lints, index = _worker_schedule()
+        lints, index = _worker_schedule(task.compiled and task.optimized)
         for der, issued_at in _shard_records(task):
             start = _time.perf_counter()
             cstart = _time.process_time()
@@ -317,6 +328,7 @@ def lint_shard(task: ShardTask) -> ShardResult:
                 respect_effective_dates=task.respect_effective_dates,
                 optimized=task.optimized,
                 index=index,
+                compiled=task.compiled,
             )
             linted = _time.perf_counter()
             clinted = _time.process_time()
@@ -339,7 +351,9 @@ def lint_shard(task: ShardTask) -> ShardResult:
 
 
 def lint_ders_to_json(
-    ders: tuple[bytes, ...], respect_effective_dates: bool = True
+    ders: tuple[bytes, ...],
+    respect_effective_dates: bool = True,
+    compiled: bool = True,
 ) -> list[str]:
     """Lint DER certificates and return one JSON report string each.
 
@@ -353,7 +367,7 @@ def lint_ders_to_json(
     from ..x509 import Certificate
     from .serialization import report_to_json
 
-    lints, index = _worker_schedule()
+    lints, index = _worker_schedule(compiled)
     out: list[str] = []
     for der in ders:
         cert = Certificate.from_der(der)
@@ -362,6 +376,7 @@ def lint_ders_to_json(
             lints=lints,
             respect_effective_dates=respect_effective_dates,
             index=index,
+            compiled=compiled,
         )
         out.append(report_to_json(report, cert))
     return out
@@ -432,16 +447,22 @@ class LintPool:
         return self.executor.submit(lint_shard, task)
 
     def submit_json(
-        self, ders: tuple[bytes, ...], respect_effective_dates: bool = True
+        self,
+        ders: tuple[bytes, ...],
+        respect_effective_dates: bool = True,
+        compiled: bool = True,
     ) -> "_cf.Future[list[str]]":
         """Dispatch a service micro-batch; the future resolves to one
         CLI-identical JSON report string per certificate."""
         return self.executor.submit(
-            lint_ders_to_json, ders, respect_effective_dates
+            lint_ders_to_json, ders, respect_effective_dates, compiled
         )
 
     def submit_timed(
-        self, ders: tuple[bytes, ...], respect_effective_dates: bool = True
+        self,
+        ders: tuple[bytes, ...],
+        respect_effective_dates: bool = True,
+        compiled: bool = True,
     ):
         """Dispatch an instrumented service micro-batch; the future
         resolves to a :class:`repro.engine.worker.TimedBatch` whose
@@ -450,7 +471,7 @@ class LintPool:
         from ..engine.worker import lint_ders_timed
 
         return self.executor.submit(
-            lint_ders_timed, ders, respect_effective_dates
+            lint_ders_timed, ders, respect_effective_dates, compiled
         )
 
     def submit_fuzz(self, specs: tuple):
@@ -486,6 +507,7 @@ def build_shard_tasks(
     respect_effective_dates: bool = True,
     collect_reports: bool = False,
     optimized: bool = True,
+    compiled: bool = True,
 ) -> list[ShardTask]:
     """Serialize a corpus into deterministic per-shard worker tasks."""
     records = _records_of(corpus)
@@ -500,6 +522,7 @@ def build_shard_tasks(
                 respect_effective_dates=respect_effective_dates,
                 collect_reports=collect_reports,
                 optimized=optimized,
+                compiled=compiled,
             )
         )
     return tasks
@@ -512,6 +535,7 @@ def build_store_shard_tasks(
     respect_effective_dates: bool = True,
     collect_reports: bool = False,
     optimized: bool = True,
+    compiled: bool = True,
 ) -> list[ShardTask]:
     """Deterministic per-shard tasks over a substrate file.
 
@@ -528,6 +552,7 @@ def build_store_shard_tasks(
                 respect_effective_dates=respect_effective_dates,
                 collect_reports=collect_reports,
                 optimized=optimized,
+                compiled=compiled,
                 store_path=str(store_path),
                 start=start,
                 stop=stop,
@@ -561,6 +586,7 @@ def lint_corpus_parallel(
     respect_effective_dates: bool = True,
     collect_reports: bool = False,
     optimized: bool = True,
+    compiled: bool = True,
     pool: LintPool | None = None,
     stats=None,
 ) -> ParallelLintOutcome:
@@ -588,6 +614,7 @@ def lint_corpus_parallel(
         respect_effective_dates=respect_effective_dates,
         collect_reports=collect_reports,
         optimized=optimized,
+        compiled=compiled,
         pool=pool,
     )
 

@@ -71,6 +71,9 @@ class ServiceConfig:
     request_timeout: float = 30.0  #: per-request lint deadline (504 past it)
     max_body: int = 4 * 1024 * 1024  #: request body cap (413 past it)
     retry_after: float = 1.0  #: Retry-After hint on 429
+    #: False pins the interpreted lint dispatch (the ``--no-compile``
+    #: knob); True warms the compiled plan at boot and lints through it.
+    compile: bool = True
 
 
 def decode_certificate_body(data: bytes) -> bytes:
@@ -153,6 +156,13 @@ class LintService:
 
     async def start(self) -> None:
         if self._pool is None:
+            if self.config.compile:
+                # Compile stage first: classify the registry into the
+                # dispatch plan in this process (timed into /metrics),
+                # so forked workers inherit it copy-on-write.
+                from ..lint.compiled import warm_default_plan
+
+                warm_default_plan(self.engine_stats)
             self._pool = LintPool(self.config.jobs)
             # Warm the pool at boot: fork/spawn plus the registry
             # snapshot/index build land here, not inside the first
@@ -201,10 +211,13 @@ class LintService:
         :class:`EngineStats` (surfaced as the ``stages`` block of
         ``/metrics``).  Injected pools without ``submit_timed`` (tests
         wedge minimal fakes) fall back to the untimed primitive."""
+        # Only pass the compile knob when non-default: injected fake
+        # pools (tests) predate the keyword and must keep working.
+        kwargs = {} if self.config.compile else {"compiled": False}
         submit_timed = getattr(self._pool, "submit_timed", None)
         if submit_timed is None:
-            return self._pool.submit_json(ders)
-        inner = submit_timed(ders)
+            return self._pool.submit_json(ders, **kwargs)
+        inner = submit_timed(ders, **kwargs)
         outer: _cf.Future = _cf.Future()
 
         def _unwrap(done: _cf.Future) -> None:

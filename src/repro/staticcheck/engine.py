@@ -24,6 +24,7 @@ from .determinism import check_determinism
 from .families import check_family_soundness
 from .findings import Finding, sort_key
 from .hygiene import check_exception_hygiene
+from .kernels import check_kernel_coverage
 from .registry import check_registered, check_registry_invariants
 from .resolve import AppliesResolver, SourceIndex
 
@@ -36,6 +37,7 @@ CHECKER_NAMES = (
     "cache-safety",
     "exception-hygiene",
     "determinism",
+    "kernel-coverage",
 )
 
 #: Modules that define lints (scanned by cache-safety / determinism /
@@ -52,6 +54,7 @@ _LINT_DEF_MODULES = (
     "lint/context.py",
     "lint/framework.py",
     "lint/runner.py",
+    "lint/compiled.py",
 )
 
 #: Packages whose parse/service paths the hygiene checker covers.
@@ -146,6 +149,8 @@ def run_checkers(
         findings.extend(
             check_determinism(fuzz_files, index, allow_seeded_random=True)
         )
+    if "kernel-coverage" in selected:
+        findings.extend(check_kernel_coverage(lints, index))
     return sorted(findings, key=sort_key)
 
 

@@ -38,3 +38,31 @@ def caching_disabled() -> Iterator[None]:
         yield
     finally:
         _disable_depth -= 1
+
+
+#: Corpus-wide ``value -> frozenset(value)`` memo behind
+#: :func:`interned_char_set`.  Soft-capped so a pathological corpus of
+#: unique values cannot grow it unboundedly.
+_CHAR_SETS: dict[str, frozenset] = {}
+_CHAR_SET_MEMO_MAX = 1 << 20
+
+
+def interned_char_set(value: str) -> frozenset:
+    """The interned ``frozenset(value)`` for a string value.
+
+    Attribute and GeneralName values repeat heavily across a corpus
+    (issuer DNs especially: the same ``O``/``C``/``CN`` strings appear
+    on millions of certificates), so their char-class sets are interned
+    corpus-wide rather than rebuilt per object.  Two objects holding
+    equal value strings share one frozenset; per-object caches layered
+    on top keep the hit an attribute load.  Honors
+    :func:`caching_disabled` (recomputes, neither reads nor writes).
+    """
+    if not caching_enabled():
+        return frozenset(value)
+    charset = _CHAR_SETS.get(value)
+    if charset is None:
+        charset = frozenset(value)
+        if len(_CHAR_SETS) < _CHAR_SET_MEMO_MAX:
+            _CHAR_SETS[value] = charset
+    return charset

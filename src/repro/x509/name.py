@@ -27,7 +27,7 @@ from ..asn1 import (
     spec_for_tag,
 )
 from ..asn1.oid import OID_NAMES
-from .cache import caching_enabled
+from .cache import caching_enabled, interned_char_set
 
 # ---------------------------------------------------------------------------
 # Attribute model
@@ -57,12 +57,17 @@ class AttributeTypeAndValue:
 
     @property
     def char_set(self) -> frozenset:
-        """The distinct characters of ``value`` (memoized per value object)."""
+        """The distinct characters of ``value``.
+
+        Memoized per value object, and the frozenset itself is interned
+        corpus-wide (:func:`repro.x509.cache.interned_char_set`): equal
+        value strings on different attributes share one set object.
+        """
         cached = self._char_set_cache
         use_cache = caching_enabled()
         if use_cache and cached is not None and cached[0] is self.value:
             return cached[1]
-        chars = frozenset(self.value)
+        chars = interned_char_set(self.value)
         if use_cache:
             self._char_set_cache = (self.value, chars)
         return chars

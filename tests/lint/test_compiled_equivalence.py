@@ -1,0 +1,155 @@
+"""Equivalence proof for the compiled char-class dispatch path.
+
+The compiled plan (:mod:`repro.lint.compiled`) is an over-approximation:
+a lint's trigger bits staying clear must *prove* compliance, and fired
+bits must hand off to the real check byte-for-byte.  These tests pin
+that contract three ways: per-report equivalence against both the
+interpreted dispatch and the unoptimized reference over a seeded
+corpus (jobs 1 and 4, fork and spawn pools), byte-identical replay of
+the committed fuzz witness corpus (adversarial inputs are exactly where
+a fused scanner would diverge), and plan-coverage invariants against
+the reviewed ``UNCOMPILED_MANIFEST``.
+"""
+
+import base64
+import json
+import pathlib
+
+import pytest
+
+from repro.ct import CorpusGenerator
+from repro.engine import EngineStats
+from repro.lint import (
+    REGISTRY,
+    index_for,
+    lint_corpus_parallel,
+    run_lints,
+    summary_to_json,
+)
+from repro.lint.compiled import (
+    UNCOMPILED_MANIFEST,
+    compiling_disabled,
+    warm_default_plan,
+)
+from repro.lint.parallel import LintPool
+from repro.lint.serialization import report_to_json
+from repro.x509 import Certificate
+
+WITNESS_DIR = pathlib.Path(__file__).resolve().parents[2] / "fuzz" / "witnesses"
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    # ~170 records spanning the generator's issuer/IDN/noncompliance mix.
+    return CorpusGenerator(seed=11, scale=1 / 200000).generate()
+
+
+def _report_shape(report):
+    return [(r.lint.name, r.status, r.details) for r in report.results]
+
+
+class TestCompiledReportEquivalence:
+    def test_every_report_identical_across_dispatchers(self, corpus):
+        for record in corpus.records:
+            reference = run_lints(
+                record.certificate, issued_at=record.issued_at, optimized=False
+            )
+            interpreted = run_lints(
+                record.certificate, issued_at=record.issued_at, compiled=False
+            )
+            compiled = run_lints(record.certificate, issued_at=record.issued_at)
+            assert _report_shape(compiled) == _report_shape(reference)
+            assert _report_shape(interpreted) == _report_shape(reference)
+
+    def test_summary_identical_across_jobs_and_dispatch(self, corpus):
+        baseline = summary_to_json(
+            lint_corpus_parallel(corpus, jobs=1, optimized=False).summary
+        )
+        for jobs in (1, 4):
+            compiled = lint_corpus_parallel(corpus, jobs=jobs)
+            interpreted = lint_corpus_parallel(corpus, jobs=jobs, compiled=False)
+            assert summary_to_json(compiled.summary) == baseline
+            assert summary_to_json(interpreted.summary) == baseline
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_pool_equivalence_across_start_methods(self, corpus, start_method):
+        baseline = summary_to_json(lint_corpus_parallel(corpus, jobs=1).summary)
+        with LintPool(2, start_method=start_method) as pool:
+            pool.prewarm()
+            outcome = lint_corpus_parallel(corpus, jobs=2, pool=pool)
+        assert summary_to_json(outcome.summary) == baseline
+
+    def test_compiling_disabled_context_pins_interpreted_path(self, corpus):
+        record = corpus.records[0]
+        reference = _report_shape(
+            run_lints(record.certificate, issued_at=record.issued_at, compiled=False)
+        )
+        with compiling_disabled():
+            pinned = _report_shape(
+                run_lints(record.certificate, issued_at=record.issued_at)
+            )
+        assert pinned == reference
+
+
+class TestWitnessReplayEquivalence:
+    """Satellite: the committed fuzz corpus through the compiled registry."""
+
+    def _witness_ders(self):
+        files = sorted(WITNESS_DIR.glob("cell-*.json"))
+        assert len(files) >= 97, f"expected the committed witness corpus, got {files}"
+        for path in files:
+            yield path.name, base64.b64decode(
+                json.loads(path.read_text())["der_b64"]
+            )
+
+    def test_all_witnesses_byte_identical(self):
+        replayed = 0
+        for name, der in self._witness_ders():
+            # Fresh objects per dispatcher: no memoized view may leak
+            # results from one path into the other.
+            cert_ref = Certificate.from_der(der)
+            cert_new = Certificate.from_der(der)
+            reference = report_to_json(
+                run_lints(cert_ref, optimized=False), cert_ref
+            )
+            compiled = report_to_json(run_lints(cert_new), cert_new)
+            interpreted = report_to_json(
+                run_lints(cert_new, compiled=False), cert_new
+            )
+            assert compiled == reference, f"compiled diverged on {name}"
+            assert interpreted == reference, f"interpreted diverged on {name}"
+            replayed += 1
+        assert replayed >= 97
+
+
+class TestCompiledPlanCoverage:
+    def test_uncompiled_exactly_matches_manifest(self):
+        plan = index_for(REGISTRY.snapshot()).compiled_plan()
+        assert set(plan.uncompiled_names) == set(UNCOMPILED_MANIFEST)
+
+    def test_plan_partitions_the_registry(self):
+        plan = index_for(REGISTRY.snapshot()).compiled_plan()
+        registered = {lint.metadata.name for lint in REGISTRY.snapshot()}
+        compiled = set(plan.compiled_names)
+        uncompiled = set(plan.uncompiled_names)
+        assert compiled | uncompiled == registered
+        assert not compiled & uncompiled
+        # The compiler must cover the overwhelming majority of the
+        # registry — falling back interpreted is the exception.
+        assert len(compiled) >= 90
+
+
+class TestCompileStageStats:
+    def test_warm_records_compile_stage_once(self):
+        index = index_for(REGISTRY.snapshot())
+        built = index._compiled_plan
+        index._compiled_plan = None
+        try:
+            stats = EngineStats()
+            warm_default_plan(stats)
+            assert "compile" in stats.stage_wall_seconds()
+        finally:
+            index._compiled_plan = built or index._compiled_plan
+        rewarm = EngineStats()
+        warm_default_plan(rewarm)
+        assert "compile" not in rewarm.stage_wall_seconds()

@@ -1,0 +1,96 @@
+"""Tests for the kernel-coverage staticcheck checker.
+
+The live-tree test pins the shipping invariant (every registered lint
+is compiled or manifest-reviewed, and the manifest carries no stale
+entries); the fixture tests inject a classifier and manifest to prove
+each finding fires — and stops firing — for exactly the right reason.
+"""
+
+from repro.lint import REGISTRY
+from repro.staticcheck.engine import CHECKER_NAMES, run_checkers
+from repro.staticcheck.kernels import CHECKER, check_kernel_coverage
+from repro.staticcheck.resolve import SourceIndex
+
+
+def _lints(count=3):
+    return REGISTRY.snapshot()[:count]
+
+
+def _names(lints):
+    return {lint.metadata.name for lint in lints}
+
+
+class TestLiveTree:
+    def test_live_registry_is_fully_covered(self):
+        findings = check_kernel_coverage(REGISTRY.snapshot(), SourceIndex())
+        assert findings == []
+
+    def test_checker_is_registered_with_the_engine(self):
+        assert CHECKER in CHECKER_NAMES
+        findings = run_checkers(
+            REGISTRY.snapshot(), SourceIndex(), checkers=[CHECKER]
+        )
+        assert findings == []
+
+
+class TestFixtures:
+    def test_unclassifiable_lint_outside_manifest_is_an_error(self):
+        lints = _lints()
+        findings = check_kernel_coverage(
+            lints,
+            SourceIndex(),
+            manifest=frozenset(),
+            classify=lambda lint: None,
+        )
+        assert len(findings) == len(lints)
+        assert {f.severity for f in findings} == {"error"}
+        assert {f.checker for f in findings} == {CHECKER}
+        assert {f.anchor for f in findings} == _names(lints)
+
+    def test_manifest_entry_suppresses_the_error(self):
+        lints = _lints()
+        reviewed = next(iter(_names(lints)))
+        findings = check_kernel_coverage(
+            lints,
+            SourceIndex(),
+            manifest=frozenset({reviewed}),
+            classify=lambda lint: None,
+        )
+        assert len(findings) == len(lints) - 1
+        assert reviewed not in {f.anchor for f in findings}
+
+    def test_classified_manifest_entry_is_a_stale_warning(self):
+        lints = _lints()
+        stale = next(iter(_names(lints)))
+        findings = check_kernel_coverage(
+            lints,
+            SourceIndex(),
+            manifest=frozenset({stale}),
+            classify=lambda lint: object(),
+        )
+        assert len(findings) == 1
+        assert findings[0].severity == "warning"
+        assert findings[0].anchor == stale
+        assert "now compiles" in findings[0].message
+
+    def test_unregistered_manifest_entry_is_a_stale_warning(self):
+        findings = check_kernel_coverage(
+            _lints(),
+            SourceIndex(),
+            manifest=frozenset({"e_no_such_lint"}),
+            classify=lambda lint: object(),
+        )
+        assert len(findings) == 1
+        assert findings[0].severity == "warning"
+        assert findings[0].anchor == "e_no_such_lint"
+        assert "not registered" in findings[0].message
+
+    def test_fingerprints_are_stable_per_lint(self):
+        lints = _lints(2)
+        first = check_kernel_coverage(
+            lints, SourceIndex(), manifest=frozenset(), classify=lambda l: None
+        )
+        second = check_kernel_coverage(
+            lints, SourceIndex(), manifest=frozenset(), classify=lambda l: None
+        )
+        assert [f.fingerprint for f in first] == [f.fingerprint for f in second]
