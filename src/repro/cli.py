@@ -410,7 +410,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--checker",
         action="append",
         metavar="NAME",
-        help="run only this checker group (repeatable; default: all five)",
+        help="run only this checker group (repeatable; default: all groups)",
     )
     staticcheck.set_defaults(func=_cmd_staticcheck)
 

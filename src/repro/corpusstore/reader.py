@@ -138,14 +138,37 @@ class CorpusStore:
     def __len__(self) -> int:
         return self._count
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has released the mapping."""
+        return getattr(self, "_view", None) is None
+
+    def _require_open(self) -> memoryview:
+        """The live mapping view, or a structured ``closed`` error.
+
+        Without the guard a post-close access surfaces as a
+        ``TypeError`` on the ``None`` view — indistinguishable from a
+        reader bug.  A use-after-close is a *caller lifecycle* bug and
+        reports as one.
+        """
+        view = getattr(self, "_view", None)
+        if view is None:
+            raise CorpusStoreError(
+                "closed",
+                f"{self.path} is closed; records are unreachable after "
+                "close() (reopen the store to read again)",
+            )
+        return view
+
     def _entry(self, i: int) -> tuple[int, int]:
+        view = self._require_open()
         if not 0 <= i < self._count:
             raise CorpusStoreError(
                 "out_of_range",
                 f"record {i} out of range (substrate holds {self._count})",
             )
         offset, length = INDEX_ENTRY.unpack_from(
-            self._view, self._index_off + i * INDEX_ENTRY.size
+            view, self._index_off + i * INDEX_ENTRY.size
         )
         if offset + length > self._der_size:
             raise CorpusStoreError(
@@ -159,7 +182,7 @@ class CorpusStore:
         """Record ``i``'s DER as a zero-copy slice of the mapping."""
         offset, length = self._entry(i)
         start = self._der_off + offset
-        return self._view[start : start + length]
+        return self._require_open()[start : start + length]
 
     def der_bytes(self, i: int) -> bytes:
         """Record ``i``'s DER materialized as ``bytes`` (one copy)."""
@@ -167,13 +190,14 @@ class CorpusStore:
 
     def issued_at(self, i: int):
         """Record ``i``'s issuance timestamp (or ``None``)."""
+        view = self._require_open()
         if not 0 <= i < self._count:
             raise CorpusStoreError(
                 "out_of_range",
                 f"record {i} out of range (substrate holds {self._count})",
             )
         (value,) = ISSUED_ENTRY.unpack_from(
-            self._view, self._issued_off + i * ISSUED_ENTRY.size
+            view, self._issued_off + i * ISSUED_ENTRY.size
         )
         return decode_issued_at(value)
 
@@ -184,6 +208,7 @@ class CorpusStore:
         columns for the shard are two contiguous column slices, and each
         DER materializes exactly once, in the process that parses it.
         """
+        view = self._require_open()
         if not 0 <= start <= stop <= self._count:
             raise CorpusStoreError(
                 "out_of_range",
@@ -191,14 +216,14 @@ class CorpusStore:
                 f"(substrate holds {self._count})",
             )
         entries = INDEX_ENTRY.iter_unpack(
-            self._view[
+            view[
                 self._index_off
                 + start * INDEX_ENTRY.size : self._index_off
                 + stop * INDEX_ENTRY.size
             ]
         )
         issued = ISSUED_ENTRY.iter_unpack(
-            self._view[
+            view[
                 self._issued_off
                 + start * ISSUED_ENTRY.size : self._issued_off
                 + stop * ISSUED_ENTRY.size
@@ -215,7 +240,7 @@ class CorpusStore:
                 )
             begin = self._der_off + offset
             yield (
-                bytes(self._view[begin : begin + length]),
+                bytes(view[begin : begin + length]),
                 decode_issued_at(raw_issued),
             )
 

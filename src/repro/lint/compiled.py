@@ -173,12 +173,12 @@ APPLIES_EXACT = 1
 APPLIES_NONEMPTY = 2
 
 #: Corpus-wide per-string mask memos (issuer DNs and hostnames repeat).
-_STRING_MASKS: dict[str, int] = {}
-_CHAR_MASKS: dict[str, int] = {}
-_DNS_MASKS: dict[str, int] = {}
-_EMAIL_MASKS: dict[str, int] = {}
-_URI_MASKS: dict[str, int] = {}
-_XN_MASKS: dict[str, int] = {}
+_STRING_MASKS: dict[str, int] = {}  # staticcheck: process-local
+_CHAR_MASKS: dict[str, int] = {}  # staticcheck: process-local
+_DNS_MASKS: dict[str, int] = {}  # staticcheck: process-local
+_EMAIL_MASKS: dict[str, int] = {}  # staticcheck: process-local
+_URI_MASKS: dict[str, int] = {}  # staticcheck: process-local
+_XN_MASKS: dict[str, int] = {}  # staticcheck: process-local
 #: Soft cap keeping a pathological corpus from growing any memo unboundedly.
 _STRING_MEMO_MAX = 1 << 20
 
@@ -814,7 +814,7 @@ def _spec_trigger(allowed_names) -> tuple[str, ...] | None:
     return atoms
 
 
-_SOURCE_INDEX = None
+_SOURCE_INDEX = None  # staticcheck: process-local
 
 
 def _classify_gn_extractor(extractor) -> ScanSpec | None:

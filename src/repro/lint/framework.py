@@ -228,7 +228,7 @@ class LintRegistry:
     def snapshot(self) -> tuple[Lint, ...]:
         """The registered lints as a cached, registration-ordered tuple."""
         if self._snapshot is None:
-            self._snapshot = tuple(self._lints.values())
+            self._snapshot = tuple(self._lints.values())  # staticcheck: process-local
         return self._snapshot
 
     # -- introspection (used by repro.staticcheck and the self-tests) ----
@@ -292,7 +292,7 @@ class RegistryIndex:
         if plan is None:
             from .compiled import compile_plan
 
-            plan = self._compiled_plan = compile_plan(self.lints)
+            plan = self._compiled_plan = compile_plan(self.lints)  # staticcheck: process-local
         return plan
 
     def not_effective_names(self, when: _dt.datetime) -> frozenset:
@@ -314,14 +314,14 @@ class RegistryIndex:
                     for lint in self.lints
                     if lint.metadata.effective_date >= threshold
                 )
-            self._not_effective_memo[cut] = memo
+            self._not_effective_memo[cut] = memo  # staticcheck: process-local
         return memo
 
 
 #: Index memo keyed by the exact lint tuple (tuple equality falls back to
 #: per-element identity, so repeated ``run_lints(lints=[...])`` calls on
 #: the same lint objects reuse one index).
-_INDEX_MEMO: dict[tuple, RegistryIndex] = {}
+_INDEX_MEMO: dict[tuple, RegistryIndex] = {}  # staticcheck: process-local
 
 
 def index_for(lints: tuple) -> RegistryIndex:

@@ -212,7 +212,7 @@ def default_shard_count(total: int, jobs: int) -> int:
 #: Per-worker-process cache of the resolved registry and its prebuilt
 #: schedule, so each worker resolves the lint list and builds the
 #: :class:`RegistryIndex` once, not once per certificate.
-_WORKER_SCHEDULE: tuple[tuple[Lint, ...], RegistryIndex] | None = None
+_WORKER_SCHEDULE: tuple[tuple[Lint, ...], RegistryIndex] | None = None  # staticcheck: process-local
 
 
 def _worker_schedule(compiled: bool = True) -> tuple[tuple[Lint, ...], RegistryIndex]:
@@ -252,7 +252,7 @@ def _warm_worker() -> int:
 #: The stat signature detects a replaced file (same path, new contents);
 #: if the path has been unlinked since opening — the engine's spill
 #: files are — the already-open mapping stays valid and is reused.
-_WORKER_STORES: dict[str, tuple[tuple, object]] = {}
+_WORKER_STORES: dict[str, tuple[tuple, object]] = {}  # staticcheck: process-local
 
 
 def _open_worker_store(path: str):

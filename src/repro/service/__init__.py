@@ -17,7 +17,7 @@ Started from the CLI as ``python -m repro serve``.
 
 from .batcher import MicroBatcher
 from .cache import ResultCache, cache_key
-from .client import LintServiceClient, ServiceError
+from .client import LintServiceClient, RetryPolicy, ServiceError
 from .http import HttpError
 from .server import (
     LintService,
@@ -32,6 +32,7 @@ __all__ = [
     "HttpError",
     "LintService",
     "LintServiceClient",
+    "RetryPolicy",
     "MicroBatcher",
     "ResultCache",
     "ServiceConfig",

@@ -104,10 +104,20 @@ class MicroBatcher:
             bodies = await asyncio.wrap_future(
                 self._dispatch(tuple(der for der, _ in batch))
             )
-        except Exception as exc:
+        except BaseException as exc:
+            # BaseException on purpose: a cancelled pool bridge surfaces
+            # as CancelledError here, and swallowing it into nothing
+            # would strand every request future in this batch forever.
+            settle = (
+                exc
+                if isinstance(exc, Exception)
+                else RuntimeError(f"batch dispatch aborted: {exc!r}")
+            )
             for _, future in batch:
                 if not future.done():
-                    future.set_exception(exc)
+                    future.set_exception(settle)
+            if not isinstance(exc, Exception):
+                raise
             return
         for (_, future), body in zip(batch, bodies):
             if not future.done():

@@ -11,8 +11,9 @@ from __future__ import annotations
 import base64
 import http.client
 import json
+import random
 import time
-from typing import Any
+from typing import Any, Callable
 
 
 class ServiceError(Exception):
@@ -28,6 +29,52 @@ class ServiceError(Exception):
         self.payload = payload
         self.code = error.get("code")
         self.retry_after = None
+
+
+class RetryPolicy:
+    """Bounded exponential backoff with full jitter.
+
+    Fixed-delay polling synchronizes every waiting client into lockstep
+    retry storms against a daemon that is already struggling to come
+    up.  The policy here is the standard cure: the *ceiling* grows as
+    ``base * 2**attempt`` capped at ``cap``, and each actual delay is
+    drawn uniformly from ``[0, ceiling]`` (full jitter) so concurrent
+    clients decorrelate.  A server-sent ``Retry-After`` is authoritative
+    when present — the daemon knows its own backlog — but still capped
+    so a misbehaving header cannot park the client for minutes.
+
+    ``rng`` and ``sleep`` are injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        base: float = 0.05,
+        cap: float = 2.0,
+        rng: random.Random | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.base = base
+        self.cap = cap
+        self.rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+
+    def delay(self, attempt: int, retry_after: float | str | None = None) -> float:
+        """The delay before retry number ``attempt`` (0-based)."""
+        if retry_after is not None:
+            try:
+                hinted = float(retry_after)
+            except (TypeError, ValueError):
+                hinted = None
+            if hinted is not None and hinted >= 0:
+                return min(hinted, self.cap)
+        ceiling = min(self.cap, self.base * (2.0 ** attempt))
+        return self.rng.uniform(0.0, ceiling)
+
+    def wait(self, attempt: int, retry_after: float | str | None = None) -> float:
+        """Sleep for :meth:`delay` and return the slept duration."""
+        duration = self.delay(attempt, retry_after)
+        self._sleep(duration)
+        return duration
 
 
 class LintServiceClient:
@@ -110,16 +157,30 @@ class LintServiceClient:
     def metrics(self) -> dict:
         return self._json("GET", "/metrics")
 
-    def wait_ready(self, attempts: int = 50, delay: float = 0.1) -> dict:
-        """Poll ``/healthz`` until the daemon answers (startup races)."""
+    def wait_ready(
+        self,
+        attempts: int = 50,
+        delay: float = 0.1,
+        policy: RetryPolicy | None = None,
+    ) -> dict:
+        """Poll ``/healthz`` until the daemon answers (startup races).
+
+        Retries back off exponentially with full jitter (``delay`` is
+        the base, see :class:`RetryPolicy`) and honour a ``Retry-After``
+        sent with a structured error response.
+        """
+        if policy is None:
+            policy = RetryPolicy(base=delay)
         last_error: Exception | None = None
-        for _ in range(attempts):
+        waited = 0.0
+        for attempt in range(attempts):
             try:
                 return self.healthz()
             except (OSError, ServiceError) as exc:
                 last_error = exc
-                time.sleep(delay)
+                retry_after = getattr(exc, "retry_after", None)
+                waited += policy.wait(attempt, retry_after)
         raise TimeoutError(
             f"service at {self.host}:{self.port} not ready "
-            f"after {attempts * delay:.1f}s: {last_error}"
+            f"after {attempts} attempts over {waited:.1f}s: {last_error}"
         )

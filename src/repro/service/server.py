@@ -91,6 +91,22 @@ def decode_certificate_body(data: bytes) -> bytes:
         raise HttpError(400, exc.code, exc.message) from exc
 
 
+def _settle_bridge(future: _cf.Future, result=None, exception=None) -> None:
+    """Settle a bridge future, tolerating the drain/worker race.
+
+    ``_unwrap`` runs on the executor's callback thread while
+    ``_drain_bridges`` runs on the event loop; whichever settles second
+    must lose quietly rather than raise ``InvalidStateError``.
+    """
+    try:
+        if exception is not None:
+            future.set_exception(exception)
+        else:
+            future.set_result(result)
+    except _cf.InvalidStateError:
+        pass
+
+
 def _parse_der(der: bytes) -> Certificate:
     try:
         return Certificate.from_der(der)
@@ -142,6 +158,10 @@ class LintService:
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.Task] = set()
         self._inflight: dict[str, asyncio.Future] = {}
+        #: Live (inner, outer) pool-bridge future pairs.  drain() uses
+        #: these to bound shutdown: a wedged worker must not strand the
+        #: request futures chained behind the outer bridge forever.
+        self._bridges: set[tuple[_cf.Future, _cf.Future]] = set()
         self._pending = 0
         self._draining = False
         self._started_at: float | None = None
@@ -188,8 +208,10 @@ class LintService:
 
         SIGTERM lands here: the listener closes first (new connections
         are refused at the TCP level), in-flight connections run to
-        completion, the batcher flushes, and finally the worker pool —
-        if this service owns it — is torn down.
+        completion, the pool bridge is bounded (wedged worker batches
+        are force-settled after ``request_timeout``), the batcher
+        flushes, and finally the worker pool — if this service owns it —
+        is torn down.
         """
         self._draining = True
         if self._server is not None:
@@ -197,6 +219,7 @@ class LintService:
             await self._server.wait_closed()
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
+        await self._drain_bridges()
         await self.batcher.stop()
         if self._owns_pool and self._pool is not None:
             await asyncio.get_running_loop().run_in_executor(
@@ -216,24 +239,59 @@ class LintService:
         kwargs = {} if self.config.compile else {"compiled": False}
         submit_timed = getattr(self._pool, "submit_timed", None)
         if submit_timed is None:
-            return self._pool.submit_json(ders, **kwargs)
+            fallback = self._pool.submit_json(ders, **kwargs)
+            self._track_bridge(fallback, fallback)
+            return fallback
         inner = submit_timed(ders, **kwargs)
         outer: _cf.Future = _cf.Future()
+        self._track_bridge(inner, outer)
 
         def _unwrap(done: _cf.Future) -> None:
+            if outer.done():
+                return  # drain() already settled the bridge
             try:
                 batch = done.result()
             except BaseException as exc:
-                outer.set_exception(exc)
+                _settle_bridge(outer, exception=exc)
                 return
             # worker=True: the batch ran in a pool process, so its wall
             # column is dropped — only CPU seconds and item counts are
             # additive across workers into the daemon-lifetime stats.
             self.engine_stats.merge_timings(batch.timings, worker=True)
-            outer.set_result(batch.bodies)
+            _settle_bridge(outer, result=batch.bodies)
 
         inner.add_done_callback(_unwrap)
         return outer
+
+    def _track_bridge(self, inner: _cf.Future, outer: _cf.Future) -> None:
+        pair = (inner, outer)
+        self._bridges.add(pair)
+        outer.add_done_callback(lambda _fut: self._bridges.discard(pair))
+
+    async def _drain_bridges(self) -> None:
+        """Bound shutdown on the pool bridge.
+
+        Waits (off-loop) up to ``request_timeout`` for in-flight worker
+        batches, then cancels what never started and force-settles the
+        outer bridge futures so every request future chained behind them
+        resolves.  Without this a wedged worker leaves ``drain()``
+        awaiting the batcher forever and SIGTERM strands all callers.
+        """
+        inners = list({inner for inner, _ in self._bridges})
+        if inners:
+            await asyncio.get_running_loop().run_in_executor(
+                None,
+                lambda: _cf.wait(inners, timeout=self.config.request_timeout),
+            )
+        for inner, outer in sorted(self._bridges, key=id):
+            inner.cancel()
+            if not outer.done():
+                _settle_bridge(
+                    outer,
+                    exception=RuntimeError(
+                        "service drained before the worker batch completed"
+                    ),
+                )
 
     # -- connection handling ------------------------------------------
 

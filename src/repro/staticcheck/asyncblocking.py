@@ -1,0 +1,134 @@
+"""Checker: blocking calls inside ``async def`` bodies.
+
+The service daemon is a single-threaded asyncio loop feeding a process
+pool.  One synchronous ``time.sleep`` or ``Future.result()`` on that
+loop stalls *every* connection — micro-batching amplifies the damage
+because requests queue behind the stalled collector.  This checker
+walks every ``async def`` body and reports calls that block the loop:
+
+* ``time.sleep(...)`` (any ``sleep`` leaf on a ``time``-ish receiver);
+* ``concurrent.futures`` synchronisation — ``.result()`` /
+  ``.exception()`` on a future-like value, and module-level ``wait`` /
+  ``as_completed``;
+* blocking I/O constructors and calls: builtin ``open``, ``socket``
+  module calls, ``urllib.request.urlopen``, ``subprocess`` helpers.
+
+**Done-callbacks run off-loop**: a synchronous ``def`` nested inside an
+``async def`` (the ``_unwrap`` / ``_settle`` pattern) executes on the
+executor's callback thread or inline at settle time, not on the event
+loop, so nested synchronous function bodies are skipped.  Awaited
+expressions are exempt by construction — ``await asyncio.sleep`` never
+matches because the receiver is ``asyncio``, and
+``asyncio.wrap_future(...)`` is how pool results are *supposed* to
+cross the boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .callgraph import _attr_chain
+from .findings import Finding
+from .resolve import SourceIndex
+
+CHECKER = "async-blocking"
+
+#: Receiver names that make a ``.sleep`` leaf the blocking kind.
+_TIME_MODULES = frozenset({"time", "_time"})
+
+#: Receiver names for module-level ``concurrent.futures`` primitives.
+_CF_MODULES = frozenset({"futures", "_cf", "cf", "concurrent"})
+
+#: ``concurrent.futures`` module functions that block the caller.
+_CF_BLOCKING = frozenset({"wait", "as_completed"})
+
+#: Future methods that block until the result exists.
+_FUTURE_BLOCKING = frozenset({"result", "exception"})
+
+#: ``subprocess`` helpers that wait for the child.
+_SUBPROCESS_BLOCKING = frozenset({"run", "call", "check_call", "check_output"})
+
+
+def _blocking_reason(call: ast.Call) -> str | None:
+    """Why this call blocks the event loop, or ``None``."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id == "open":
+            return "builtin open() performs blocking file I/O"
+        if func.id in ("urlopen",):
+            return "urlopen() performs blocking network I/O"
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    chain = _attr_chain(func)
+    root = chain[0] if chain else None
+    leaf = func.attr
+    if leaf == "sleep" and root in _TIME_MODULES:
+        return "time.sleep() blocks the event loop"
+    if leaf in _CF_BLOCKING and root in _CF_MODULES:
+        return f"concurrent.futures.{leaf}() blocks the event loop"
+    if leaf in _FUTURE_BLOCKING and root not in _CF_MODULES:
+        # fut.result() — a concurrent.futures.Future blocks; even on an
+        # asyncio future it races the loop instead of awaiting it.
+        return (
+            f".{leaf}() on a future blocks (or races) the event loop; "
+            "await asyncio.wrap_future(...) instead"
+        )
+    if root == "socket" or (
+        chain is not None and len(chain) >= 2 and chain[:2] == ["socket", "socket"]
+    ):
+        return f"socket.{leaf}() performs blocking network I/O"
+    if root == "subprocess" and leaf in _SUBPROCESS_BLOCKING:
+        return f"subprocess.{leaf}() blocks until the child exits"
+    if leaf == "urlopen" and root in ("urllib", "request"):
+        # urllib.request.urlopen / request.urlopen — but never
+        # urllib.parse helpers, which are pure string work.
+        return "urllib urlopen() performs blocking network I/O"
+    return None
+
+
+def _async_defs(tree: ast.Module):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            yield node
+
+
+def _scan_async_body(node: ast.AsyncFunctionDef, relpath: str, findings):
+    """Walk one coroutine body, skipping off-loop nested sync defs."""
+
+    def visit(sub: ast.AST) -> None:
+        if isinstance(sub, (ast.FunctionDef, ast.Lambda)) and sub is not node:
+            return  # done-callbacks and helpers run off-loop
+        if isinstance(sub, ast.AsyncFunctionDef) and sub is not node:
+            return  # scanned on its own by the outer loop
+        if isinstance(sub, ast.Call):
+            reason = _blocking_reason(sub)
+            if reason is not None:
+                findings.append(
+                    Finding(
+                        checker=CHECKER,
+                        severity="error",
+                        path=relpath,
+                        line=sub.lineno,
+                        anchor=node.name,
+                        message=f"blocking call in async def {node.name}: {reason}",
+                    )
+                )
+        for child in ast.iter_child_nodes(sub):
+            visit(child)
+
+    for stmt in node.body:
+        visit(stmt)
+
+
+def check_async_blocking(paths, index: SourceIndex) -> list[Finding]:
+    """Scan ``async def`` bodies for event-loop-blocking calls."""
+    findings: list[Finding] = []
+    for path in paths:
+        tree = index.module(str(path))
+        if tree is None:
+            continue
+        relpath = index.relpath(str(path))
+        for node in _async_defs(tree):
+            _scan_async_body(node, relpath, findings)
+    return findings

@@ -1,4 +1,4 @@
-"""Engine: run the five checker groups over ``src/repro``.
+"""Engine: run the checker groups over ``src/repro``.
 
 The engine wires the checkers to their default scopes:
 
@@ -7,7 +7,11 @@ The engine wires the checkers to their default scopes:
 * the **registered**-scan, **cache-safety**, and **determinism**
   checkers run over the lint definition modules;
 * **exception-hygiene** runs over the parse and service paths
-  (``asn1``, ``x509``, ``uni``, ``lint``, ``service``).
+  (``asn1``, ``x509``, ``uni``, ``lint``, ``service``);
+* the concurrency/resource checkers — **fork-cow**, **async-blocking**,
+  **pickle-boundary**, **resource-lifetime** — run whole-program over
+  every module under ``src/repro`` (fork-cow on top of the
+  :mod:`~repro.staticcheck.callgraph` worker-reachability graph).
 
 Everything is parameterized so tests can point the same checkers at
 fixture registries and fixture files.
@@ -18,15 +22,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .asyncblocking import check_async_blocking
 from .baseline import load_baseline, partition
 from .cachesafety import check_cache_safety
 from .determinism import check_determinism
 from .families import check_family_soundness
 from .findings import Finding, sort_key
+from .forkcow import check_fork_cow
 from .hygiene import check_exception_hygiene
 from .kernels import check_kernel_coverage
+from .pickleboundary import check_pickle_boundary
 from .registry import check_registered, check_registry_invariants
 from .resolve import AppliesResolver, SourceIndex
+from .resourcelifetime import check_resource_lifetime
 
 #: src/repro — the default analysis root.
 PKG_ROOT = Path(__file__).resolve().parents[1]
@@ -38,6 +46,10 @@ CHECKER_NAMES = (
     "exception-hygiene",
     "determinism",
     "kernel-coverage",
+    "fork-cow",
+    "async-blocking",
+    "pickle-boundary",
+    "resource-lifetime",
 )
 
 #: Modules that define lints (scanned by cache-safety / determinism /
@@ -79,6 +91,13 @@ def hygiene_paths(pkg_root: Path = PKG_ROOT) -> list[Path]:
         if root.is_dir():
             paths.extend(sorted(root.rglob("*.py")))
     return paths
+
+
+def concurrency_paths(pkg_root: Path = PKG_ROOT) -> list[Path]:
+    """Every module under the package — the whole-program checkers
+    (fork-cow call graph, pickle-boundary, async-blocking,
+    resource-lifetime) see the full tree."""
+    return sorted(pkg_root.rglob("*.py"))
 
 
 @dataclass
@@ -123,6 +142,9 @@ def run_checkers(
     lint_paths=(),
     hygiene_files=(),
     fuzz_files=(),
+    concurrency_files=(),
+    pkg_root: Path = PKG_ROOT,
+    worker_roots=None,
     resolve_rule=None,
     checkers=None,
 ) -> list[Finding]:
@@ -151,6 +173,18 @@ def run_checkers(
         )
     if "kernel-coverage" in selected:
         findings.extend(check_kernel_coverage(lints, index))
+    if "fork-cow" in selected:
+        findings.extend(
+            check_fork_cow(
+                concurrency_files, index, pkg_root=pkg_root, roots=worker_roots
+            )
+        )
+    if "async-blocking" in selected:
+        findings.extend(check_async_blocking(concurrency_files, index))
+    if "pickle-boundary" in selected:
+        findings.extend(check_pickle_boundary(concurrency_files, index))
+    if "resource-lifetime" in selected:
+        findings.extend(check_resource_lifetime(concurrency_files, index))
     return sorted(findings, key=sort_key)
 
 
@@ -171,6 +205,8 @@ def run_staticcheck(
         lint_paths=lint_module_paths(pkg_root),
         hygiene_files=hygiene_paths(pkg_root),
         fuzz_files=fuzz_module_paths(pkg_root),
+        concurrency_files=concurrency_paths(pkg_root),
+        pkg_root=pkg_root,
         resolve_rule=rules_for_lint,
         checkers=checkers,
     )

@@ -1,0 +1,377 @@
+"""Checker: worker-reachable writes to pre-fork-shared state.
+
+The parallel pipeline builds the registry snapshot, the
+:class:`~repro.lint.framework.RegistryIndex`, and the compiled dispatch
+plan *before* forking, so every worker inherits them copy-on-write.
+That contract has a failure mode the tests cannot see: a worker-side
+write to module-level state (a memo dict, a ``global``) or to one of
+the shared objects silently diverges per process — under fork it also
+dirties COW pages, and under spawn the divergence happens at different
+times, which is exactly the class of bug that would break the
+byte-identity guarantees behind Figures 2/3/4 and Tables 4/5.
+
+This checker walks every function reachable from the worker entry
+points (:mod:`repro.staticcheck.callgraph`) and reports:
+
+* assignments to ``global``-declared names;
+* item/attribute stores and mutating method calls through names that
+  resolve to module-level bindings (including local aliases such as
+  ``memo = _CHAR_MASKS`` and imported names such as ``REGISTRY``);
+* ``self.<attr>`` stores and mutations inside non-``__init__`` methods
+  of the *pre-fork-shared classes* — classes instantiated at module
+  scope anywhere under analysis, plus the reviewed
+  :data:`SHARED_CLASSES` set.
+
+Intentional per-process memos are allow-listed with a
+``# staticcheck: process-local`` comment on the write statement or on
+the module-level definition of the written name.  An annotation that
+suppresses nothing is itself an **error** finding (stale allow-list
+entries must not outlive the code they reviewed).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+
+from .callgraph import CallGraph, ModuleInfo, _attr_chain, build_call_graph
+from .findings import Finding
+from .resolve import SourceIndex
+
+CHECKER = "fork-cow"
+
+#: Classes whose instances are built pre-fork and shared with workers
+#: even though no module-scope instantiation is syntactically visible
+#: (``RegistryIndex`` instances live in the module-level
+#: ``_INDEX_MEMO``; ``CompiledPlan`` hangs off a ``RegistryIndex``).
+SHARED_CLASSES = frozenset({"LintRegistry", "RegistryIndex", "CompiledPlan"})
+
+ANNOTATION = "# staticcheck: process-local"
+_ANNOTATION_RE = re.compile(r"#\s*staticcheck:\s*process-local\b")
+
+_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "sort",
+        "reverse",
+        "update",
+        "setdefault",
+        "add",
+        "discard",
+    }
+)
+
+
+def _annotated_lines(index: SourceIndex, path: Path) -> set[int]:
+    """1-based line numbers carrying the process-local annotation.
+
+    Tokenized rather than regexed so the marker only counts inside real
+    ``#`` comments — a docstring *describing* the annotation (this one,
+    say) must not register as an allow-list entry.
+    """
+    lines = index.source_lines(str(path))
+    if not lines:
+        return set()
+    source = "\n".join(lines) + "\n"
+    annotated: set[int] = set()
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT and _ANNOTATION_RE.search(tok.string):
+                annotated.add(tok.start[0])
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return annotated
+    return annotated
+
+
+def _local_bindings(fn_node: ast.AST) -> tuple[set[str], set[str]]:
+    """``(locals, globals_declared)`` for one function body.
+
+    Locals cover parameters, assignment targets, comprehension targets
+    and nested def names — any of these shadows a module-level name.
+    ``global``-declared names are excluded from locals (a write to one
+    is a module-level write by definition).
+    """
+    local: set[str] = set()
+    declared_global: set[str] = set()
+    for sub in ast.walk(fn_node):
+        if isinstance(sub, ast.Global):
+            declared_global.update(sub.names)
+        elif isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+            local.add(sub.id)
+        elif isinstance(sub, ast.arg):
+            local.add(sub.arg)
+        elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            local.add(sub.name)
+    return local - declared_global, declared_global
+
+
+def _module_alias_map(fn_node: ast.AST, module_names, local) -> dict[str, str]:
+    """Locals that are plain aliases of module-level names.
+
+    ``memo = _CHAR_MASKS`` makes ``memo[key] = ...`` a module-level
+    write; one level of aliasing catches the idiom the compiled-kernel
+    memos actually use.
+    """
+    aliases: dict[str, str] = {}
+    for sub in ast.walk(fn_node):
+        if not (isinstance(sub, ast.Assign) and isinstance(sub.value, ast.Name)):
+            continue
+        source = sub.value.id
+        if source not in module_names or source in local:
+            continue
+        for target in sub.targets:
+            if isinstance(target, ast.Name):
+                aliases[target.id] = source
+    return aliases
+
+
+class _FunctionScanner:
+    """Collects the raw (pre-suppression) writes of one function."""
+
+    def __init__(self, mod: ModuleInfo, qualname: str, shared: frozenset):
+        self.mod = mod
+        self.qualname = qualname
+        self.shared = shared
+        node = mod.functions[qualname].node
+        self.node = node
+        self.local, self.declared_global = _local_bindings(node)
+        self.aliases = _module_alias_map(node, mod.module_names, self.local)
+        class_name = qualname.split(".")[0] if "." in qualname else None
+        self.self_is_shared = (
+            class_name in shared and not qualname.endswith(".__init__")
+        )
+        #: (statement-node, target-name-or-None, message)
+        self.writes: list[tuple[ast.stmt | ast.expr, str | None, str]] = []
+
+    def _module_target(self, name: str) -> str | None:
+        """The module-level name ``name`` writes through, if any."""
+        if name in self.declared_global:
+            return name
+        if name in self.local:
+            return self.aliases.get(name)
+        if name in self.mod.module_names:
+            return name
+        return None
+
+    def _root_write(self, expr: ast.expr) -> str | None:
+        """Module-level name behind a subscript/attribute store root."""
+        while isinstance(expr, (ast.Subscript, ast.Attribute)):
+            expr = expr.value
+        if isinstance(expr, ast.Name):
+            return self._module_target(expr.id)
+        return None
+
+    def _is_shared_self(self, expr: ast.expr) -> bool:
+        while isinstance(expr, ast.Subscript):
+            expr = expr.value
+        chain = _attr_chain(expr)
+        return bool(
+            self.self_is_shared and chain and chain[0] == "self"
+        )
+
+    def scan(self) -> None:
+        for sub in ast.walk(self.node):
+            if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                )
+                for target in targets:
+                    self._scan_store(sub, target)
+            elif isinstance(sub, ast.Call) and isinstance(
+                sub.func, ast.Attribute
+            ):
+                if sub.func.attr not in _MUTATORS:
+                    continue
+                receiver = sub.func.value
+                name = self._root_write(receiver)
+                if name is not None:
+                    self.writes.append(
+                        (
+                            sub,
+                            name,
+                            f".{sub.func.attr}() mutates module-level "
+                            f"'{name}' from worker-reachable code",
+                        )
+                    )
+                elif self._is_shared_self(receiver):
+                    self.writes.append(
+                        (
+                            sub,
+                            None,
+                            f".{sub.func.attr}() mutates pre-fork-shared "
+                            f"instance state in {self.qualname}",
+                        )
+                    )
+
+    def _scan_store(self, stmt, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in self.declared_global:
+                self.writes.append(
+                    (
+                        stmt,
+                        target.id,
+                        f"assignment to global '{target.id}' from "
+                        "worker-reachable code",
+                    )
+                )
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            kind = "item store" if isinstance(target, ast.Subscript) else (
+                f"attribute store .{target.attr}"
+            )
+            name = self._root_write(target)
+            if name is not None:
+                self.writes.append(
+                    (
+                        stmt,
+                        name,
+                        f"{kind} into module-level '{name}' from "
+                        "worker-reachable code",
+                    )
+                )
+            elif self._is_shared_self(target):
+                self.writes.append(
+                    (
+                        stmt,
+                        None,
+                        f"{kind} into pre-fork-shared instance state "
+                        f"in {self.qualname}",
+                    )
+                )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._scan_store(stmt, element)
+
+
+def _definition_annotation(
+    graph: CallGraph,
+    index: SourceIndex,
+    mod: ModuleInfo,
+    name: str,
+    used: dict[Path, set[int]],
+) -> bool:
+    """Whether ``name``'s module-level definition is annotated.
+
+    Chases one import hop so writes through imported names (``REGISTRY``
+    in ``parallel.py``) honour the annotation at the defining module.
+    """
+    span = mod.definitions.get(name)
+    target_mod = mod
+    if span is None and name in mod.imports:
+        dotted = mod.imports[name]
+        head, _, leaf = dotted.rpartition(".")
+        target_mod = graph.modules.get(head)
+        if target_mod is not None:
+            span = target_mod.definitions.get(leaf)
+    if span is None or target_mod is None:
+        return False
+    annotated = _annotated_lines(index, target_mod.path)
+    hits = annotated & set(range(span[0], span[1] + 1))
+    if hits:
+        used.setdefault(target_mod.path, set()).update(hits)
+        return True
+    return False
+
+
+def check_fork_cow(
+    paths,
+    index: SourceIndex,
+    *,
+    pkg_root: Path,
+    roots=None,
+    shared_classes=None,
+) -> list[Finding]:
+    """Report worker-reachable shared-state writes (and stale annotations)."""
+    paths = [Path(p) for p in paths]
+    if not paths:
+        return []
+    graph = build_call_graph(paths, index, pkg_root)
+    reach = graph.worker_reachable(roots)
+    shared = frozenset(
+        SHARED_CLASSES if shared_classes is None else shared_classes
+    )
+    # Classes instantiated at module scope are shared under fork too.
+    discovered = set(shared)
+    for mod in graph.modules.values():
+        for node in mod.tree.body:
+            values = []
+            if isinstance(node, ast.Assign):
+                values = [node.value]
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                values = [node.value]
+            for value in values:
+                if isinstance(value, ast.Call) and isinstance(
+                    value.func, ast.Name
+                ):
+                    if value.func.id in mod.classes or any(
+                        value.func.id in m.classes
+                        for m in graph.modules.values()
+                    ):
+                        discovered.add(value.func.id)
+    shared = frozenset(discovered)
+
+    findings: list[Finding] = []
+    used_annotations: dict[Path, set[int]] = {}
+    for ident in sorted(reach):
+        fn = graph.functions[ident]
+        mod = graph.modules[fn.module]
+        scanner = _FunctionScanner(mod, fn.qualname, shared)
+        scanner.scan()
+        if not scanner.writes:
+            continue
+        annotated = _annotated_lines(index, mod.path)
+        relpath = index.relpath(str(mod.path))
+        for stmt, name, message in scanner.writes:
+            span = set(
+                range(stmt.lineno, getattr(stmt, "end_lineno", stmt.lineno) + 1)
+            )
+            hits = annotated & span
+            if hits:
+                used_annotations.setdefault(mod.path, set()).update(hits)
+                continue
+            if name is not None and _definition_annotation(
+                graph, index, mod, name, used_annotations
+            ):
+                continue
+            findings.append(
+                Finding(
+                    checker=CHECKER,
+                    severity="error",
+                    path=relpath,
+                    line=stmt.lineno,
+                    anchor=fn.qualname,
+                    message=message,
+                )
+            )
+
+    # Stale allow-list entries: annotation present, nothing suppressed.
+    for mod in graph.modules.values():
+        annotated = _annotated_lines(index, mod.path)
+        stale = annotated - used_annotations.get(mod.path, set())
+        relpath = index.relpath(str(mod.path))
+        lines = index.source_lines(str(mod.path)) or []
+        for line in sorted(stale):
+            text = lines[line - 1].split("#", 1)[0].strip() if line <= len(lines) else ""
+            anchor = text.split("=", 1)[0].split(":", 1)[0].strip() or "module"
+            findings.append(
+                Finding(
+                    checker=CHECKER,
+                    severity="error",
+                    path=relpath,
+                    line=line,
+                    anchor=anchor,
+                    message=(
+                        f"stale '{ANNOTATION}' annotation: no "
+                        "worker-reachable write is suppressed here"
+                    ),
+                )
+            )
+    return findings

@@ -1,0 +1,282 @@
+"""Checker: file/mmap handles must not leak, memoryviews must not escape.
+
+The substrate path holds real OS resources: ``open()`` file objects,
+``mmap`` mappings, and ``memoryview`` slices pinning those mappings
+alive.  A handle opened without a guaranteed release path leaks fds in
+the long-running service tier; a ``der_view`` slice that outlives its
+:class:`~repro.corpusstore.CorpusStore` turns ``close()`` into a
+``BufferError`` time bomb.  This checker enforces the three release
+shapes the tree actually uses:
+
+* ``with open(...) as f`` — context-managed, always fine;
+* ``x = open(...)`` as a **local** — accepted only when ``x.close()``
+  is called from a ``finally`` block in the same function (close on
+  *all* paths, not just the happy one);
+* ``self._f = open(...)`` — class-managed, accepted only when the class
+  defines both ``close`` and ``__exit__`` (the :class:`CorpusStore`
+  pattern: idempotent close + context-manager + ``__del__`` net).
+
+Unassigned handles (``open(p).read()``) are always findings.  For
+memoryview escape, ``der_view(...)`` results may not be returned,
+yielded, or stored onto ``self``/module state outside the class that
+defines ``der_view`` — inside it, the store's own lifecycle management
+is the owner.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .callgraph import _attr_chain
+from .findings import Finding
+from .resolve import SourceIndex
+
+CHECKER = "resource-lifetime"
+
+
+def _is_handle_open(value: ast.expr) -> str | None:
+    """The resource kind a call expression acquires, or ``None``."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    if isinstance(func, ast.Name) and func.id == "open":
+        return "file handle"
+    if isinstance(func, ast.Attribute):
+        chain = _attr_chain(func)
+        if chain in (["os", "open"], ["_os", "open"]):
+            return "file descriptor"
+        if func.attr == "mmap" and chain and chain[0] in ("mmap", "_mmap"):
+            return "mmap mapping"
+    return None
+
+
+def _is_der_view(value: ast.expr) -> bool:
+    return (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Attribute)
+        and value.func.attr == "der_view"
+    )
+
+
+def _classes_with_lifecycle(tree: ast.Module) -> set[str]:
+    """Classes defining both ``close`` and ``__exit__``."""
+    names: set[str] = set()
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods = {
+            sub.name
+            for sub in node.body
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if {"close", "__exit__"} <= methods:
+            names.add(node.name)
+    return names
+
+
+def _classes_defining(tree: ast.Module, method: str) -> set[str]:
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and any(
+            isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and sub.name == method
+            for sub in node.body
+        ):
+            names.add(node.name)
+    return names
+
+
+def _finally_closed_names(fn_node: ast.AST) -> set[str]:
+    """Names ``.close()``d (or ``os.close()``d) inside a ``finally``."""
+    closed: set[str] = set()
+    for sub in ast.walk(fn_node):
+        if not isinstance(sub, ast.Try):
+            continue
+        for stmt in sub.finalbody:
+            for call in ast.walk(stmt):
+                if not isinstance(call, ast.Call):
+                    continue
+                func = call.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr == "close" and isinstance(func.value, ast.Name):
+                    closed.add(func.value.id)
+                chain = _attr_chain(func)
+                if chain in (["os", "close"], ["_os", "close"]) and call.args:
+                    arg = call.args[0]
+                    if isinstance(arg, ast.Name):
+                        closed.add(arg.id)
+    return closed
+
+
+def _function_nodes(tree: ast.Module):
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _enclosing_class(tree: ast.Module, fn_node) -> str | None:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and fn_node in node.body:
+            return node.name
+    return None
+
+
+def _view_escape(sub: ast.AST, owner, view_owners, relpath, label):
+    """Finding for a ``der_view`` result escaping its store, if any."""
+    if owner in view_owners:
+        return None
+    if isinstance(sub, ast.Return) and _is_der_view(sub.value):
+        how = f"returned from {label}"
+    elif isinstance(sub, (ast.Yield, ast.YieldFrom)) and _is_der_view(
+        getattr(sub, "value", None)
+    ):
+        how = f"yielded from {label}"
+    elif isinstance(sub, ast.Assign) and _is_der_view(sub.value):
+        escaping = False
+        for target in sub.targets:
+            chain = _attr_chain(target) or []
+            if chain[:1] == ["self"]:
+                escaping = True
+        if not escaping:
+            return None
+        how = "stored on self"
+    else:
+        return None
+    return Finding(
+        checker=CHECKER,
+        severity="warning",
+        path=relpath,
+        line=sub.lineno,
+        anchor=label,
+        message=(
+            f"der_view() memoryview {how} can outlive the "
+            "CorpusStore mapping that backs it"
+        ),
+    )
+
+
+def check_resource_lifetime(paths, index: SourceIndex) -> list[Finding]:
+    """Scan for leaked handles and escaping ``der_view`` memoryviews."""
+    findings: list[Finding] = []
+    for path in paths:
+        tree = index.module(str(path))
+        if tree is None:
+            continue
+        relpath = index.relpath(str(path))
+        lifecycle_classes = _classes_with_lifecycle(tree)
+        view_owners = _classes_defining(tree, "der_view")
+        for fn_node in _function_nodes(tree):
+            label = fn_node.name
+            owner = _enclosing_class(tree, fn_node)
+            closed = _finally_closed_names(fn_node)
+            #: Acquisition call nodes with a recognised release path.
+            sanctioned: set[ast.AST] = set()
+            for sub in ast.walk(fn_node):
+                if isinstance(sub, (ast.With, ast.AsyncWith)):
+                    for item in sub.items:
+                        sanctioned.add(item.context_expr)
+                elif isinstance(sub, ast.Assign):
+                    if _is_handle_open(sub.value) is None:
+                        continue
+                    sanctioned.add(sub.value)
+                    kind = _is_handle_open(sub.value)
+                    for target in sub.targets:
+                        findings.extend(
+                            _check_handle_target(
+                                target,
+                                kind,
+                                sub.lineno,
+                                relpath,
+                                label,
+                                owner,
+                                lifecycle_classes,
+                                closed,
+                            )
+                        )
+            for sub in ast.walk(fn_node):
+                escape = _view_escape(sub, owner, view_owners, relpath, label)
+                if escape is not None:
+                    findings.append(escape)
+                if (
+                    isinstance(sub, ast.Call)
+                    and sub not in sanctioned
+                    and _is_handle_open(sub) is not None
+                ):
+                    findings.append(
+                        Finding(
+                            checker=CHECKER,
+                            severity="error",
+                            path=relpath,
+                            line=sub.lineno,
+                            anchor=label,
+                            message=(
+                                f"{_is_handle_open(sub)} acquired without "
+                                "binding, context manager, or close()"
+                            ),
+                        )
+                    )
+    return findings
+
+
+def _check_handle_target(
+    target: ast.expr,
+    kind: str,
+    lineno: int,
+    relpath: str,
+    label: str,
+    owner: str | None,
+    lifecycle_classes: set[str],
+    closed: set[str],
+) -> list[Finding]:
+    chain = _attr_chain(target) or []
+    if chain[:1] == ["self"]:
+        if owner in lifecycle_classes:
+            return []
+        return [
+            Finding(
+                checker=CHECKER,
+                severity="error",
+                path=relpath,
+                line=lineno,
+                anchor=label,
+                message=(
+                    f"{kind} stored on self in a class without both "
+                    "close() and __exit__ (class-managed handles need "
+                    "a full lifecycle)"
+                ),
+            )
+        ]
+    if isinstance(target, ast.Name):
+        if target.id in closed:
+            return []
+        return [
+            Finding(
+                checker=CHECKER,
+                severity="error",
+                path=relpath,
+                line=lineno,
+                anchor=label,
+                message=(
+                    f"{kind} bound to '{target.id}' is not closed in a "
+                    "finally block (close on all paths, or use with)"
+                ),
+            )
+        ]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: list[Finding] = []
+        for element in target.elts:
+            out.extend(
+                _check_handle_target(
+                    element,
+                    kind,
+                    lineno,
+                    relpath,
+                    label,
+                    owner,
+                    lifecycle_classes,
+                    closed,
+                )
+            )
+        return out
+    return []

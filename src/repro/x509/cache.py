@@ -15,7 +15,7 @@ from __future__ import annotations
 import contextlib
 from typing import Iterator
 
-_disable_depth = 0
+_disable_depth = 0  # staticcheck: process-local
 
 
 def caching_enabled() -> bool:

@@ -7,6 +7,7 @@ never contributes garbage records to a summary.
 """
 
 import datetime as dt
+import os
 import struct
 
 import pytest
@@ -108,6 +109,70 @@ class TestEdges:
     def test_atomic_replace_leaves_no_tmp(self, tmp_path):
         path = write_store(PAIRS, tmp_path / "atomic.rcs")
         assert not path.with_name(path.name + ".tmp").exists()
+
+
+def _open_fds() -> int:
+    return len(os.listdir("/proc/self/fd"))
+
+
+class TestLifecycle:
+    """Open/close discipline: no leaked fds, structured use-after-close."""
+
+    def test_context_manager_closes(self, store_path):
+        with CorpusStore(store_path) as store:
+            assert not store.closed
+        assert store.closed
+
+    def test_access_after_close_is_structured(self, store_path):
+        store = CorpusStore(store_path)
+        store.close()
+        for access in (
+            lambda: store.der_bytes(0),
+            lambda: store.der_view(0),
+            lambda: store.issued_at(0),
+            lambda: list(store.iter_shard(0, 1)),
+        ):
+            with pytest.raises(CorpusStoreError) as excinfo:
+                access()
+            assert excinfo.value.code == "closed"
+
+    def test_len_survives_close(self, store_path):
+        # Metadata reads stay valid — only mapping access is guarded.
+        store = CorpusStore(store_path)
+        store.close()
+        assert len(store) == len(PAIRS)
+
+    def test_open_failure_does_not_leak_fds(self, store_path):
+        # Corrupt the header so open() fails *after* the file and the
+        # mapping were acquired; both must be released on the way out.
+        data = bytearray(store_path.read_bytes())
+        struct.pack_into("<I", data, len(MAGIC), 99)
+        store_path.write_bytes(bytes(data))
+        before = _open_fds()
+        for _ in range(5):
+            with pytest.raises(CorpusStoreError):
+                CorpusStore(store_path)
+        assert _open_fds() == before
+
+    def test_verify_failure_does_not_leak_fds(self, store_path):
+        data = bytearray(store_path.read_bytes())
+        data[-1] ^= 0xFF
+        store_path.write_bytes(bytes(data))
+        before = _open_fds()
+        for _ in range(5):
+            with pytest.raises(CorpusStoreError):
+                CorpusStore(store_path, verify=True)
+        assert _open_fds() == before
+
+    def test_close_with_live_view_then_release(self, store_path):
+        # close() with an exported buffer must not raise; the mapping
+        # is reclaimed once the last view is released.
+        store = CorpusStore(store_path)
+        view = store.der_view(0)
+        store.close()
+        assert store.closed
+        assert bytes(view) == PAIRS[0][0]
+        view.release()
 
 
 class TestCorruption:

@@ -1,0 +1,42 @@
+"""Fixture: exactly one planted violation per concurrency checker.
+
+Never imported by the tests — the concurrency checkers are pure AST
+scans, and some plants (the lambda submit, the blocking sleep) must
+never actually run.  Each function below carries exactly one violation
+so the exactly-once assertions stay meaningful:
+
+* ``_worker_main`` — **fork-cow**: item store into a module-level memo
+  from a worker root (``executor.submit`` makes it one);
+* ``collect`` — **async-blocking**: ``time.sleep`` on the event loop;
+* ``dispatch_bad`` — **pickle-boundary**: a lambda handed to
+  ``executor.submit``;
+* ``leak_mapping`` — **resource-lifetime**: an ``open()`` handle with
+  no context manager and no close-on-all-paths.
+"""
+
+import time
+
+_MEMO: dict[bytes, int] = {}
+
+
+def _worker_main(der: bytes) -> int:
+    _MEMO[der] = len(der)  # planted: worker-reachable module-state write
+    return _MEMO[der]
+
+
+def launch(executor, items):
+    return [executor.submit(_worker_main, item) for item in items]
+
+
+async def collect(queue):
+    time.sleep(0.01)  # planted: blocks the event loop
+    return await queue.get()
+
+
+def dispatch_bad(executor, payload):
+    return executor.submit(lambda: payload)  # planted: unpicklable callable
+
+
+def leak_mapping(path):
+    handle = open(path, "rb")  # planted: no close() on any path
+    return handle.read()

@@ -1,0 +1,247 @@
+"""Self-tests for the whole-program concurrency/resource checkers.
+
+``fixtures/concurrency_bad.py`` plants exactly one violation per
+checker; ``fixtures/concurrency_clean.py`` is the repaired twin.  The
+call-graph tests pin the reachability semantics the fork-cow checker
+rests on, and the live-tree test asserts the real ``src/repro`` is
+clean — every historical finding is either fixed or carries a reviewed
+``process-local`` annotation, none are baselined.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import (
+    ANNOTATION,
+    CHECKER_NAMES,
+    SourceIndex,
+    build_call_graph,
+    check_async_blocking,
+    check_fork_cow,
+    check_pickle_boundary,
+    check_resource_lifetime,
+    concurrency_paths,
+    fingerprint_of,
+    module_name_for,
+    run_staticcheck,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = FIXTURES / "concurrency_bad.py"
+CLEAN = FIXTURES / "concurrency_clean.py"
+NEW_CHECKERS = (
+    "fork-cow",
+    "async-blocking",
+    "pickle-boundary",
+    "resource-lifetime",
+)
+
+
+@pytest.fixture()
+def index():
+    return SourceIndex(repo_root=FIXTURES)
+
+
+class TestCallGraph:
+    def test_module_name_mapping(self):
+        assert (
+            module_name_for(BAD, FIXTURES) == "fixtures.concurrency_bad"
+        )
+        assert (
+            module_name_for(FIXTURES / "__init__.py", FIXTURES) == "fixtures"
+        )
+
+    def test_submit_argument_becomes_worker_root(self, index):
+        graph = build_call_graph([BAD], index, FIXTURES)
+        assert (
+            "fixtures.concurrency_bad._worker_main" in graph.discovered_roots()
+        )
+        assert (
+            "fixtures.concurrency_bad._worker_main" in graph.worker_reachable()
+        )
+
+    def test_non_executor_submit_is_not_a_root(self, index, tmp_path):
+        module = tmp_path / "monitorish.py"
+        module.write_text(
+            "def _entry(der):\n"
+            "    return der\n"
+            "def feed(monitor, der):\n"
+            "    return monitor.submit(_entry, der)\n",
+            encoding="utf-8",
+        )
+        graph = build_call_graph(
+            [module], SourceIndex(repo_root=tmp_path), tmp_path
+        )
+        assert graph.discovered_roots() == []
+
+    def test_module_scope_dispatch_tables_are_reachable(self, index, tmp_path):
+        # The SCOPE_FNS idiom: functions referenced only from a
+        # module-level dict must activate once the module is reached.
+        module = tmp_path / "tableish.py"
+        module.write_text(
+            "def _kernel(x):\n"
+            "    return x\n"
+            "TABLE = {'k': _kernel}\n"
+            "def _worker_entry(key, x):\n"
+            "    return TABLE[key](x)\n"
+            "def launch(executor, x):\n"
+            "    return executor.submit(_worker_entry, 'k', x)\n",
+            encoding="utf-8",
+        )
+        graph = build_call_graph(
+            [module], SourceIndex(repo_root=tmp_path), tmp_path
+        )
+        stem = tmp_path.name
+        assert f"{stem}.tableish._kernel" in graph.worker_reachable()
+
+
+class TestPlantedViolations:
+    def test_fork_cow_fires_once(self, index):
+        findings = check_fork_cow([BAD], index, pkg_root=FIXTURES)
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.checker == "fork-cow"
+        assert finding.severity == "error"
+        assert finding.anchor == "_worker_main"
+        assert "_MEMO" in finding.message
+
+    def test_async_blocking_fires_once(self, index):
+        findings = check_async_blocking([BAD], index)
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.checker == "async-blocking"
+        assert finding.severity == "error"
+        assert finding.anchor == "collect"
+        assert "time.sleep" in finding.message
+
+    def test_pickle_boundary_fires_once(self, index):
+        findings = check_pickle_boundary([BAD], index)
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.checker == "pickle-boundary"
+        assert finding.severity == "error"
+        assert finding.anchor == "dispatch_bad"
+        assert "lambda" in finding.message
+
+    def test_resource_lifetime_fires_once(self, index):
+        findings = check_resource_lifetime([BAD], index)
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.checker == "resource-lifetime"
+        assert finding.severity == "error"
+        assert finding.anchor == "leak_mapping"
+        assert "finally" in finding.message
+
+
+class TestCleanFixture:
+    def test_every_concurrency_checker_is_silent(self, index):
+        assert check_fork_cow([CLEAN], index, pkg_root=FIXTURES) == []
+        assert check_async_blocking([CLEAN], index) == []
+        assert check_pickle_boundary([CLEAN], index) == []
+        assert check_resource_lifetime([CLEAN], index) == []
+
+
+class TestAnnotationContract:
+    def test_stale_annotation_is_an_error(self, tmp_path):
+        module = tmp_path / "stale.py"
+        module.write_text(
+            f"_UNUSED = {{}}  {ANNOTATION}\n"
+            "def helper():\n"
+            "    return _UNUSED\n",
+            encoding="utf-8",
+        )
+        findings = check_fork_cow(
+            [module], SourceIndex(repo_root=tmp_path), pkg_root=tmp_path
+        )
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.severity == "error"
+        assert "stale" in finding.message
+
+    def test_annotation_in_docstring_does_not_count(self, tmp_path):
+        # Only real comments register — a docstring *describing* the
+        # annotation is neither an allow-list entry nor stale.
+        module = tmp_path / "describing.py"
+        module.write_text(
+            f'"""Docs mentioning {ANNOTATION} in prose."""\n'
+            "def helper():\n"
+            "    return 1\n",
+            encoding="utf-8",
+        )
+        assert (
+            check_fork_cow(
+                [module], SourceIndex(repo_root=tmp_path), pkg_root=tmp_path
+            )
+            == []
+        )
+
+    def test_write_line_annotation_suppresses(self, tmp_path):
+        module = tmp_path / "inline.py"
+        module.write_text(
+            "_MEMO = {}\n"
+            "def _worker_entry(x):\n"
+            f"    _MEMO[x] = x  {ANNOTATION}\n"
+            "    return _MEMO[x]\n"
+            "def launch(executor, x):\n"
+            "    return executor.submit(_worker_entry, x)\n",
+            encoding="utf-8",
+        )
+        assert (
+            check_fork_cow(
+                [module], SourceIndex(repo_root=tmp_path), pkg_root=tmp_path
+            )
+            == []
+        )
+
+
+class TestFingerprintStability:
+    def test_fingerprints_survive_line_drift(self, index, tmp_path):
+        drifted = tmp_path / "concurrency_bad.py"
+        drifted.write_text(
+            "# pad\n# pad\n# pad\n" + BAD.read_text(encoding="utf-8"),
+            encoding="utf-8",
+        )
+        drifted_index = SourceIndex(repo_root=tmp_path)
+        for checker in (
+            lambda paths, idx: check_fork_cow(
+                paths, idx, pkg_root=Path(paths[0]).parent
+            ),
+            check_async_blocking,
+            check_pickle_boundary,
+            check_resource_lifetime,
+        ):
+            (original,) = checker([BAD], index)
+            (moved,) = checker([drifted], drifted_index)
+            assert moved.line == original.line + 3
+            assert moved.fingerprint == original.fingerprint
+
+    def test_fingerprint_matches_recomputation(self, index):
+        (finding,) = check_async_blocking([BAD], index)
+        assert finding.fingerprint == fingerprint_of(
+            finding.checker, finding.path, finding.anchor, finding.message
+        )
+
+
+class TestLiveTree:
+    def test_new_checkers_are_registered(self):
+        for name in NEW_CHECKERS:
+            assert name in CHECKER_NAMES
+
+    def test_live_tree_has_zero_unbaselined_findings(self):
+        # Every concurrency/resource hazard in src/repro is either
+        # fixed or carries a reviewed process-local annotation — the
+        # committed baseline holds no entry for these checkers.
+        report = run_staticcheck(checkers=NEW_CHECKERS)
+        assert report.findings == []
+
+    def test_live_tree_annotations_are_all_live(self):
+        # No stale allow-list entries anywhere under src/repro: every
+        # annotation suppresses at least one worker-reachable write.
+        report = run_staticcheck(checkers=("fork-cow",))
+        assert [f for f in report.findings if "stale" in f.message] == []
+
+    def test_concurrency_scope_covers_whole_package(self):
+        paths = concurrency_paths()
+        names = {p.name for p in paths}
+        assert {"parallel.py", "server.py", "batcher.py"} <= names
