@@ -148,6 +148,78 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from .analysis import (
+        render_cdf,
+        render_rolling_fields,
+        render_rolling_windows,
+        render_trend,
+        rolling_field_series,
+        rolling_trend,
+        rolling_validity_cdfs,
+    )
+    from .ct import CorpusGenerator, MonitorConfig, TailLog, TailMonitor, drive
+    from .engine import Engine, EngineStats
+
+    corpus = CorpusGenerator(seed=args.seed, scale=args.scale).generate()
+    log = TailLog(corpus)
+    config = MonitorConfig(
+        batch_size=args.batch_size,
+        jobs=args.jobs,
+        index_window=args.index_window,
+        epoch=args.epoch,
+        checkpoint_path=args.checkpoint,
+        store_dir=args.store_dir,
+        alert_threshold=args.alert_threshold,
+        baseline_depth=args.baseline_depth,
+        alert_min_total=args.alert_min_total,
+        compiled=not args.no_compile,
+    )
+    stats = EngineStats()
+    monitor = TailMonitor(
+        log,
+        config,
+        engine=Engine(stats),
+        on_alert=lambda alert: print(f"ALERT {alert.describe()}"),
+    )
+    resumed = monitor.start(resume=args.resume)
+    if monitor.recovered is not None:
+        print(
+            f"checkpoint unusable ({monitor.recovered}); cold start",
+            file=sys.stderr,
+        )
+    if resumed:
+        print(f"resumed from checkpoint at position {monitor.position}")
+    outcomes = drive(monitor, batches=args.batches)
+    for number, outcome in enumerate(outcomes, 1):
+        print(
+            f"batch {number}: entries [{outcome.start}, {outcome.stop}) "
+            f"nc {outcome.summary.noncompliant}/{outcome.summary.total}"
+        )
+    total = monitor.window.total.summary
+    rate = total.noncompliant / total.total if total.total else 0.0
+    print(
+        f"tail position {monitor.position}: {total.total} entries, "
+        f"{total.noncompliant} noncompliant ({rate:.2%})"
+    )
+    for line in render_rolling_windows(monitor.window):
+        print(line)
+    for line in render_trend(rolling_trend(monitor.window)):
+        print(line)
+    for line in render_cdf(rolling_validity_cdfs(monitor.window), keys=("all",)):
+        print(line)
+    for line in render_rolling_fields(rolling_field_series(monitor.window)):
+        print(line)
+    if args.summary_json:
+        with open(args.summary_json, "w", encoding="utf-8") as handle:
+            handle.write(monitor.window.to_json())
+            handle.write("\n")
+        print(f"wrote windowed summary to {args.summary_json}")
+    if args.stats:
+        _print_engine_stats(stats)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -342,6 +414,82 @@ def build_parser() -> argparse.ArgumentParser:
         "char-class kernels; output is identical either way)",
     )
     corpus.set_defaults(func=_cmd_corpus)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="tail a simulated CT log incrementally (windowed, resumable)",
+    )
+    monitor.add_argument("--scale", type=float, default=1 / 10000)
+    monitor.add_argument("--seed", type=int, default=2025)
+    monitor.add_argument(
+        "--batches",
+        type=int,
+        default=None,
+        help="stop after this many polled batches (default: drain the log)",
+    )
+    monitor.add_argument(
+        "--batch-size", type=int, default=256,
+        help="entries per get-entries poll",
+    )
+    monitor.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="lint worker processes per batch (output is identical "
+        "for every value)",
+    )
+    monitor.add_argument(
+        "--index-window", type=int, default=1024,
+        help="tumbling window width in log entries",
+    )
+    monitor.add_argument(
+        "--epoch", choices=("year", "month"), default="year",
+        help="rolling window granularity over issued-at timestamps",
+    )
+    monitor.add_argument(
+        "--checkpoint",
+        help="durable checkpoint path (written atomically after every "
+        "batch; pair with --resume to survive kills)",
+    )
+    monitor.add_argument(
+        "--store-dir",
+        help="append-only segment store directory for arriving DER",
+    )
+    monitor.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the checkpoint when one is readable "
+        "(damaged checkpoints cold-start cleanly)",
+    )
+    monitor.add_argument(
+        "--alert-threshold", type=float, default=0.15,
+        help="absolute share shift that raises a window alert",
+    )
+    monitor.add_argument(
+        "--baseline-depth", type=int, default=4,
+        help="trailing windows merged into the alert baseline",
+    )
+    monitor.add_argument(
+        "--alert-min-total", type=int, default=16,
+        help="skip alerting on windows/baselines smaller than this",
+    )
+    monitor.add_argument(
+        "--summary-json",
+        help="write the final windowed summary as canonical JSON "
+        "(the kill/resume byte-identity comparison form)",
+    )
+    monitor.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the engine's per-stage timing breakdown on stderr",
+    )
+    monitor.add_argument(
+        "--no-compile",
+        action="store_true",
+        help="pin the interpreted lint dispatch (output is identical "
+        "either way)",
+    )
+    monitor.set_defaults(func=_cmd_monitor)
 
     serve = sub.add_parser(
         "serve", help="run the lint-as-a-service daemon (JSON over HTTP)"

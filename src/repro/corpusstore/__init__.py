@@ -20,12 +20,23 @@ Public surface:
   ``der_bytes``, ``issued_at``, ``iter_shard``); engine-compatible, so
   ``Engine.run_corpus(store, jobs=N)`` lints straight off the mapping;
 * :class:`CorpusStoreError` — the structured failure taxonomy
-  (``bad_magic`` / ``truncated`` / ``corrupt_index`` / ...).
+  (``bad_magic`` / ``truncated`` / ``corrupt_index`` / ...);
+* :class:`SegmentWriter` / :class:`SegmentedCorpusStore` — append-only
+  segment chains for streaming ingest (one atomic substrate file per
+  batch, chained back into one logical store), with
+  :func:`store_digest` as the checkpointable chain fingerprint.
 """
 
 from .errors import CorpusStoreError
 from .format import MAGIC, VERSION, decode_issued_at, encode_issued_at
 from .reader import CorpusStore
+from .segments import (
+    SegmentWriter,
+    SegmentedCorpusStore,
+    list_segments,
+    segment_name,
+    store_digest,
+)
 from .writer import write_store
 
 __all__ = [
@@ -33,7 +44,12 @@ __all__ = [
     "CorpusStoreError",
     "MAGIC",
     "VERSION",
+    "SegmentWriter",
+    "SegmentedCorpusStore",
     "decode_issued_at",
     "encode_issued_at",
+    "list_segments",
+    "segment_name",
+    "store_digest",
     "write_store",
 ]

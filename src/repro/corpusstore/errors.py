@@ -12,7 +12,9 @@ instead of message text — the same discipline as
 * ``corrupt_header`` — internally inconsistent region offsets;
 * ``corrupt_index`` — an index entry points outside the DER region;
 * ``corrupt_data`` — checksum mismatch over the payload regions;
-* ``out_of_range`` — a record index past ``count``.
+* ``out_of_range`` — a record index past ``count``;
+* ``segment_gap`` — a segment chain with a missing middle segment
+  (:mod:`repro.corpusstore.segments`).
 """
 
 from __future__ import annotations

@@ -139,6 +139,11 @@ class CorpusStore:
         return self._count
 
     @property
+    def crc32(self) -> int:
+        """The header's payload CRC-32 (used by segment-chain digests)."""
+        return self._crc
+
+    @property
     def closed(self) -> bool:
         """Whether :meth:`close` has released the mapping."""
         return getattr(self, "_view", None) is None

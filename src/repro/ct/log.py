@@ -91,12 +91,14 @@ class CTLog:
 
     # -- proofs ----------------------------------------------------------------
 
-    def prove_inclusion(self, index: int) -> list[bytes]:
-        return self._tree.inclusion_proof(index)
+    def prove_inclusion(self, index: int, size: int | None = None) -> list[bytes]:
+        return self._tree.inclusion_proof(index, size)
 
     def check_inclusion(self, index: int, proof: list[bytes]) -> bool:
         der = self._entries[index].certificate.to_der()
         return verify_inclusion(der, index, self.size, proof, self.root())
 
-    def prove_consistency(self, old_size: int) -> list[bytes]:
-        return self._tree.consistency_proof(old_size)
+    def prove_consistency(
+        self, old_size: int, new_size: int | None = None
+    ) -> list[bytes]:
+        return self._tree.consistency_proof(old_size, new_size)

@@ -24,7 +24,7 @@ injectable :class:`EngineStats` collector:
 
 from .executors import PoolExecutor, SerialExecutor
 from .ingest import IngestError, SourceItem, corpus_records, read_path, sniff_certificate_bytes
-from .pipeline import Engine, EngineItem, run_corpus
+from .pipeline import Engine, EngineItem, increment_pairs, run_corpus, run_increment
 from .sinks import (
     SummarySink,
     merge_shard_results,
@@ -32,9 +32,21 @@ from .sinks import (
     render_text_report,
 )
 from .stats import EngineStats, StageTimings
+from .windows import (
+    Alert,
+    AlertPolicy,
+    CertFacts,
+    WindowConfig,
+    WindowStats,
+    WindowedSummary,
+    cert_facts,
+)
 from .worker import TimedBatch, lint_ders_timed
 
 __all__ = [
+    "Alert",
+    "AlertPolicy",
+    "CertFacts",
     "Engine",
     "EngineItem",
     "EngineStats",
@@ -45,12 +57,18 @@ __all__ = [
     "StageTimings",
     "SummarySink",
     "TimedBatch",
+    "WindowConfig",
+    "WindowStats",
+    "WindowedSummary",
+    "cert_facts",
     "corpus_records",
+    "increment_pairs",
     "lint_ders_timed",
     "merge_shard_results",
     "read_path",
     "render_json_report",
     "render_text_report",
     "run_corpus",
+    "run_increment",
     "sniff_certificate_bytes",
 ]

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 from ..lint.parallel import (
     ParallelLintOutcome,
+    build_pair_shard_tasks,
     build_shard_tasks,
     build_store_shard_tasks,
     default_shard_count,
@@ -166,6 +167,132 @@ class Engine:
 
     # -- corpus path (CLI corpus, parallel API, benchmarks) -----------
 
+    def _resolve_corpus_jobs(self, jobs, pool, total: int) -> int:
+        """The job count every corpus-shaped run uses.
+
+        An explicit ``jobs`` alongside ``pool`` reconciles by clamping
+        to the pool's worker count; either way the count never exceeds
+        the record total (a 3-record batch at ``--jobs 8`` provisions 3).
+        """
+        if pool is not None:
+            requested = jobs if jobs is not None else pool.jobs
+            return min(resolve_jobs(requested, total=total), pool.jobs)
+        return resolve_jobs(jobs, total=total)
+
+    def _select_executor(self, executor, pool, jobs: int, shards: int, total: int):
+        """Strategy selection shared by the batch and increment drivers:
+        inline serial whenever one process suffices, else the pool."""
+        if executor is not None:
+            return executor
+        if pool is None and (jobs == 1 or min(shards, total) <= 1):
+            return SerialExecutor()
+        return PoolExecutor(jobs, pool=pool)
+
+    def _execute_tasks(self, tasks, executor) -> list:
+        """Run shard tasks and fold worker timings into this engine.
+
+        For a distributed executor the parent-side wall clock of the
+        whole phase records as the ``execute`` stage; worker wall
+        columns are dropped on merge (they overlap — summing them would
+        overcount) and only their CPU/item columns fold in.
+        """
+        distributed = getattr(executor, "distributed", True)
+        if distributed:
+            with self.stats.time("execute", items=len(tasks)):
+                results = executor.run(tasks)
+        else:
+            results = executor.run(tasks)
+        for result in results:
+            if result.timings is not None:
+                self.stats.merge_timings(result.timings, worker=distributed)
+        return results
+
+    def run_increment(
+        self,
+        batch,
+        *,
+        base_index: int = 0,
+        jobs: int | None = None,
+        shards: int | None = None,
+        respect_effective_dates: bool = True,
+        collect_reports: bool = False,
+        optimized: bool = True,
+        compiled: bool = True,
+        pool=None,
+        executor=None,
+        window=None,
+    ) -> ParallelLintOutcome:
+        """Lint one bounded batch and fold it into a windowed aggregate.
+
+        The pull-based core of the incremental engine: a CT-tail
+        monitor (or any streaming caller) feeds batches as they arrive
+        and the same staged pipeline — ingest → decode → lint → sink —
+        processes each one with the exact merge algebra of the batch
+        path.  ``batch`` may be corpus records, tail entries (anything
+        with ``.der``/``.issued_at``), or raw ``(der, issued_at)``
+        pairs; ``base_index`` is the log index of the batch's first
+        entry, which keys the tumbling windows.
+
+        Pass ``window`` (a :class:`repro.engine.windows.WindowedSummary`)
+        to fold per-certificate reports and figure facts into it under
+        the ``fold`` stage; after folding entries ``[0, M)`` in any
+        batch decomposition the window's grand total is structurally
+        identical to one :meth:`run_corpus` pass over the same records.
+        Reports ride back only when ``collect_reports`` asks for them —
+        the fold consumes them internally otherwise.
+
+        Batches ship inline (never spilled to a substrate): they are
+        bounded by the poll size, and durability of the arriving DER is
+        the caller's segment store's job, not the dispatch path's.
+        """
+        pairs = increment_pairs(batch)
+        total = len(pairs)
+        jobs = self._resolve_corpus_jobs(jobs, pool, total)
+        if total == 0:
+            return merge_shard_results([], jobs, collect_reports)
+        if shards is None:
+            shards = default_shard_count(total, jobs)
+        executor = self._select_executor(executor, pool, jobs, shards, total)
+        if optimized and compiled:
+            self.warm_compiled_plan()
+        collect = collect_reports or window is not None
+        with self.stats.time("ingest", items=total):
+            tasks = build_pair_shard_tasks(
+                pairs,
+                shards,
+                respect_effective_dates=respect_effective_dates,
+                collect_reports=collect,
+                optimized=optimized,
+                compiled=compiled,
+                collect_facts=window is not None,
+            )
+        self.stats.record_shards(
+            [stop - start for start, stop in shard_bounds(total, shards)],
+            jobs=executor.jobs,
+        )
+        results = self._execute_tasks(tasks, executor)
+        with self.stats.time("sink", items=len(results)):
+            outcome = merge_shard_results(results, executor.jobs, collect)
+        if window is not None:
+            ordered = sorted(results, key=lambda r: r.index)
+            facts = [f for r in ordered for f in (r.facts or ())]
+            with self.stats.time("fold", items=total):
+                for offset, report in enumerate(outcome.reports):
+                    window.fold(
+                        base_index + offset,
+                        pairs[offset][1],
+                        report,
+                        facts[offset] if offset < len(facts) else None,
+                    )
+            if not collect_reports:
+                outcome = ParallelLintOutcome(
+                    summary=outcome.summary,
+                    reports=None,
+                    jobs=outcome.jobs,
+                    shards=outcome.shards,
+                )
+        return outcome
+
     def run_corpus(
         self,
         corpus,
@@ -208,20 +335,12 @@ class Engine:
         else:
             records = corpus_records(corpus)
             total = len(records)
-        if pool is not None:
-            requested = jobs if jobs is not None else pool.jobs
-            jobs = min(resolve_jobs(requested, total=total), pool.jobs)
-        else:
-            jobs = resolve_jobs(jobs, total=total)
+        jobs = self._resolve_corpus_jobs(jobs, pool, total)
         if total == 0:
             return merge_shard_results([], jobs, collect_reports)
         if shards is None:
             shards = default_shard_count(total, jobs)
-        if executor is None:
-            if pool is None and (jobs == 1 or min(shards, total) <= 1):
-                executor = SerialExecutor()
-            else:
-                executor = PoolExecutor(jobs, pool=pool)
+        executor = self._select_executor(executor, pool, jobs, shards, total)
         distributed = getattr(executor, "distributed", True)
         # Compile stage: build the dispatch plan in the parent before
         # any work is dispatched — serial runs use it directly, pool
@@ -261,17 +380,7 @@ class Engine:
                 [stop - start for start, stop in shard_bounds(total, shards)],
                 jobs=executor.jobs,
             )
-            if distributed:
-                # Parent-side wall clock of the whole distributed phase;
-                # the workers' own wall columns are dropped on merge
-                # (they overlap — summing them would overcount).
-                with self.stats.time("execute", items=len(tasks)):
-                    results = executor.run(tasks)
-            else:
-                results = executor.run(tasks)
-            for result in results:
-                if result.timings is not None:
-                    self.stats.merge_timings(result.timings, worker=distributed)
+            results = self._execute_tasks(tasks, executor)
             with self.stats.time("sink", items=len(results)):
                 return merge_shard_results(
                     results, executor.jobs, collect_reports
@@ -284,6 +393,31 @@ class Engine:
                     pass
 
 
+def increment_pairs(batch) -> list[tuple[bytes, _dt.datetime | None]]:
+    """Normalize any batch shape to ``(der, issued_at)`` pairs.
+
+    Accepts the shapes streaming callers hand the incremental engine:
+    corpus records (``.certificate``/``.issued_at``), CT tail entries
+    (``.der``/``.issued_at``), raw ``(der, issued_at)`` pairs, or
+    anything with ``.records`` wrapping one of those.
+    """
+    pairs: list[tuple[bytes, _dt.datetime | None]] = []
+    for entry in getattr(batch, "records", batch):
+        certificate = getattr(entry, "certificate", None)
+        if certificate is not None:
+            pairs.append(
+                (certificate.to_der(), getattr(entry, "issued_at", None))
+            )
+            continue
+        der = getattr(entry, "der", None)
+        if der is not None:
+            pairs.append((bytes(der), getattr(entry, "issued_at", None)))
+            continue
+        der, issued_at = entry
+        pairs.append((bytes(der), issued_at))
+    return pairs
+
+
 def run_corpus(corpus, jobs: int | None = None, **kwargs) -> ParallelLintOutcome:
     """Module-level convenience: one-shot corpus run on a fresh engine.
 
@@ -292,3 +426,14 @@ def run_corpus(corpus, jobs: int | None = None, **kwargs) -> ParallelLintOutcome
     """
     stats = kwargs.pop("stats", None)
     return Engine(stats).run_corpus(corpus, jobs, **kwargs)
+
+
+def run_increment(batch, **kwargs) -> ParallelLintOutcome:
+    """Module-level convenience: lint one batch on a fresh engine.
+
+    Pass ``stats=`` to observe the per-stage breakdown and ``window=``
+    to fold into a :class:`~repro.engine.windows.WindowedSummary`;
+    remaining keyword arguments go to :meth:`Engine.run_increment`.
+    """
+    stats = kwargs.pop("stats", None)
+    return Engine(stats).run_increment(batch, **kwargs)

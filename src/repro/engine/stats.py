@@ -32,7 +32,10 @@ from dataclasses import dataclass, field
 #: (:mod:`repro.lint.compiled`), recorded where it runs — the parent.
 #: ``execute`` is the parent-side wall-clock of a distributed pool run,
 #: recorded between ``ingest`` and the worker-side stages it spans.
-STAGE_ORDER = ("ingest", "compile", "execute", "decode", "lint", "sink")
+#: ``fold`` is the incremental engine's windowed aggregation
+#: (:meth:`repro.engine.Engine.run_increment` folding reports into a
+#: :class:`~repro.engine.windows.WindowedSummary` after the sink merge).
+STAGE_ORDER = ("ingest", "compile", "execute", "decode", "lint", "sink", "fold")
 
 
 def _stage_sort_key(name: str) -> tuple[int, str]:

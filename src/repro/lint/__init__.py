@@ -52,7 +52,13 @@ from .parallel import (
     shard_bounds,
     summarize_corpus_parallel,
 )
-from .serialization import report_to_dict, report_to_json, summary_to_dict, summary_to_json
+from .serialization import (
+    report_to_dict,
+    report_to_json,
+    summary_from_dict,
+    summary_to_dict,
+    summary_to_json,
+)
 from .constraints import CONSTRAINT_RULES, ConstraintRule, rules_for_lint
 from .rfc_analyzer import (
     SPEC_LIBRARY,
@@ -64,6 +70,7 @@ from .rfc_analyzer import (
 __all__ = [
     "report_to_dict",
     "report_to_json",
+    "summary_from_dict",
     "summary_to_dict",
     "summary_to_json",
     "LintPool",

@@ -108,6 +108,10 @@ class ShardTask:
     store_path: str | None = None
     start: int = 0
     stop: int = 0
+    #: Extract :class:`repro.engine.windows.CertFacts` per certificate
+    #: (the incremental engine's windowed fold needs them; the batch
+    #: path never pays for the extraction).
+    collect_facts: bool = False
 
 
 @dataclass
@@ -126,6 +130,9 @@ class ShardResult:
     reports: list[CertificateReport] | None = None
     error: str | None = None
     timings: object | None = None
+    #: Per-certificate :class:`repro.engine.windows.CertFacts`, in shard
+    #: order, when the task asked for ``collect_facts``.
+    facts: list | None = None
 
 
 @dataclass
@@ -313,12 +320,20 @@ def lint_shard(task: ShardTask) -> ShardResult:
     reports: list[CertificateReport] | None = (
         [] if task.collect_reports else None
     )
+    facts: list | None = None
+    extract_facts = None
+    if task.collect_facts:
+        from ..engine.windows import cert_facts as extract_facts
+
+        facts = []
     try:
         lints, index = _worker_schedule(task.compiled and task.optimized)
         for der, issued_at in _shard_records(task):
             start = _time.perf_counter()
             cstart = _time.process_time()
             cert = Certificate.from_der(der)
+            if extract_facts is not None:
+                facts.append(extract_facts(cert))
             decoded = _time.perf_counter()
             cdecoded = _time.process_time()
             report = run_lints(
@@ -345,8 +360,10 @@ def lint_shard(task: ShardTask) -> ShardResult:
     except Exception as exc:
         result.error = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
         result.reports = None
+        result.facts = None
         return result
     result.reports = reports
+    result.facts = facts
     return result
 
 
@@ -556,6 +573,44 @@ def build_store_shard_tasks(
                 store_path=str(store_path),
                 start=start,
                 stop=stop,
+            )
+        )
+    return tasks
+
+
+def build_pair_shard_tasks(
+    pairs,
+    shards: int,
+    respect_effective_dates: bool = True,
+    collect_reports: bool = False,
+    optimized: bool = True,
+    compiled: bool = True,
+    collect_facts: bool = False,
+) -> list[ShardTask]:
+    """Deterministic per-shard tasks over ``(der, issued_at)`` pairs.
+
+    The incremental engine's transport: a tail batch arrives as raw DER
+    plus issuance timestamps (no live record objects), stays bounded by
+    the poll size, and ships inline — spilling a few hundred entries to
+    a substrate file per poll would cost an fsync that the page cache
+    never amortizes.  Shard boundaries come from the same
+    :func:`shard_bounds`, so summaries merge in the same order as every
+    other dispatch path.
+    """
+    pairs = list(pairs)
+    tasks: list[ShardTask] = []
+    for index, (start, stop) in enumerate(shard_bounds(len(pairs), shards)):
+        chunk = pairs[start:stop]
+        tasks.append(
+            ShardTask(
+                index=index,
+                certs_der=tuple(der for der, _ in chunk),
+                issued_at=tuple(issued for _, issued in chunk),
+                respect_effective_dates=respect_effective_dates,
+                collect_reports=collect_reports,
+                optimized=optimized,
+                compiled=compiled,
+                collect_facts=collect_facts,
             )
         )
     return tasks

@@ -7,7 +7,7 @@ import json
 from typing import Any
 
 from ..x509 import Certificate
-from .framework import LintResult, LintStatus
+from .framework import LintResult, LintStatus, NoncomplianceType
 from .runner import CertificateReport, CorpusSummary
 
 
@@ -79,6 +79,39 @@ def summary_to_dict(summary: CorpusSummary) -> dict[str, Any]:
         "error_level": {t.value: n for t, n in sorted(summary.error_level.items(), key=lambda kv: kv[0].value)},
         "warn_level": {t.value: n for t, n in sorted(summary.warn_level.items(), key=lambda kv: kv[0].value)},
     }
+
+
+def summary_from_dict(payload: dict[str, Any]) -> CorpusSummary:
+    """Rebuild a :class:`CorpusSummary` from :func:`summary_to_dict` output.
+
+    The inverse the incremental engine's checkpoint needs: a summary
+    that round-trips through ``summary_from_dict(summary_to_dict(s))``
+    is structurally identical to ``s`` — same counters, same canonical
+    key order — so a resumed window serializes byte-identically to one
+    that never left memory.  Unknown noncompliance-type values raise
+    ``ValueError`` (a checkpoint written by a future registry must not
+    half-load).
+    """
+
+    def _typed(block: dict[str, int]) -> dict[NoncomplianceType, int]:
+        return {
+            NoncomplianceType(value): count
+            for value, count in sorted(block.items())
+        }
+
+    summary = CorpusSummary(
+        total=int(payload["total"]),
+        noncompliant=int(payload["noncompliant"]),
+        noncompliant_ignoring_dates=int(
+            payload["noncompliant_ignoring_effective_dates"]
+        ),
+        per_lint=dict(sorted(payload["per_lint"].items())),
+        per_type=_typed(payload["per_type"]),
+        error_level=_typed(payload["error_level"]),
+        warn_level=_typed(payload["warn_level"]),
+    )
+    summary._canonicalize()
+    return summary
 
 
 def summary_to_json(summary: CorpusSummary, indent: int | None = None) -> str:
